@@ -1,0 +1,48 @@
+// Ablation for §2.2 (flexible quorums): classic majority vs FPaxos-style
+// small phase-2 quorums, under Paxos and PigPaxos.
+//
+// Paper's argument: a small Q2 cuts commit *latency* tails but does NOT
+// clear the leader bottleneck — the leader still exchanges messages with
+// every follower, so throughput barely moves. Combining flexible quorums
+// WITH PigPaxos keeps the relay savings.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace pig;
+using namespace pig::harness;
+
+int main() {
+  std::printf(
+      "=== Ablation §2.2: flexible quorums (N=10, Q1=8, Q2=3 like the "
+      "paper's example) ===\n\n");
+  std::printf(
+      " protocol  | quorum    | max tput(req/s) | mean(ms) @16 clients\n"
+      " ----------+-----------+-----------------+---------------------\n");
+  for (Protocol proto : {Protocol::kPaxos, Protocol::kPigPaxos}) {
+    for (bool flexible : {false, true}) {
+      ExperimentConfig cfg;
+      cfg.protocol = proto;
+      cfg.num_replicas = 10;
+      cfg.relay_groups = 2;
+      cfg.seed = 42;
+      if (flexible) {
+        cfg.flexible_q1 = 8;
+        cfg.flexible_q2 = 3;
+      }
+      cfg.num_clients = 512;
+      RunResult sat = RunExperiment(cfg);
+      cfg.num_clients = 16;
+      RunResult mid = RunExperiment(cfg);
+      std::printf(" %-9s | %-9s | %15.1f | %20.3f\n",
+                  ProtocolName(proto).c_str(),
+                  flexible ? "fpaxos8/3" : "majority", sat.throughput,
+                  mid.mean_ms);
+    }
+  }
+  std::printf(
+      "\nPaper §2.2: flexible quorums do not reduce the leader bottleneck "
+      "(all\nfollowers still answer); PigPaxos does, and the two "
+      "compose.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation for §6.3 (number of relay layers): single-layer vs two-layer
+// relay trees on a 25-node cluster.
+//
+// Paper's analysis: the leader is the bottleneck even with r=2 groups
+// (Ml = 6 vs follower load <= 4), so offloading followers further with
+// deeper trees cannot raise throughput — it only adds hops (latency).
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace pig;
+using namespace pig::harness;
+
+int main() {
+  std::printf(
+      "=== Ablation §6.3: relay tree depth, 25-node PigPaxos, 2 groups "
+      "===\n\n");
+  std::printf(
+      " layers | max tput(req/s) | mean latency @64 clients (ms)\n"
+      " -------+-----------------+------------------------------\n");
+  for (uint32_t layers : {1u, 2u}) {
+    ExperimentConfig cfg;
+    cfg.protocol = Protocol::kPigPaxos;
+    cfg.num_replicas = 25;
+    cfg.relay_groups = 2;
+    cfg.relay_layers = layers;
+    cfg.seed = 42;
+
+    cfg.num_clients = 512;
+    RunResult sat = RunExperiment(cfg);
+    cfg.num_clients = 64;
+    RunResult mid = RunExperiment(cfg);
+    std::printf(" %6u | %15.1f | %29.3f\n", layers, sat.throughput,
+                mid.mean_ms);
+  }
+  std::printf(
+      "\nPaper §6.3: deeper trees do not help — the leader remains the "
+      "bottleneck\n(min Ml = 4 as r -> 1 while follower load also tends "
+      "to 4); extra layers only\nadd relay hops to the critical path.\n");
+  return 0;
+}

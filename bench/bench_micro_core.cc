@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the substrate:
+// codec round trips, message encode, scheduler throughput, histogram
+// recording, RNG, and relay-group planning.
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "paxos/messages.h"
+#include "pigpaxos/messages.h"
+#include "pigpaxos/relay_groups.h"
+#include "sim/scheduler.h"
+
+namespace pig {
+namespace {
+
+void BM_CodecEncodeP2a(benchmark::State& state) {
+  paxos::P2a msg;
+  msg.ballot = Ballot(7, 3);
+  msg.slot = 123456;
+  msg.command = Command::Put("key12345", std::string(state.range(0), 'v'),
+                             kFirstClientId, 42);
+  msg.commit_index = 123455;
+  for (auto _ : state) {
+    Encoder enc;
+    enc.PutU8(static_cast<uint8_t>(msg.type()));
+    msg.EncodeBody(enc);
+    benchmark::DoNotOptimize(enc.buffer().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(msg.WireSize()));
+}
+BENCHMARK(BM_CodecEncodeP2a)->Arg(8)->Arg(128)->Arg(1024);
+
+void BM_CodecRoundTripP2a(benchmark::State& state) {
+  paxos::RegisterPaxosMessages();
+  paxos::P2a msg;
+  msg.ballot = Ballot(7, 3);
+  msg.slot = 123456;
+  msg.command = Command::Put("key12345", std::string(64, 'v'),
+                             kFirstClientId, 42);
+  auto wire = EncodeMessage(msg);
+  for (auto _ : state) {
+    MessagePtr out;
+    Status s = DecodeMessage(wire, &out);
+    benchmark::DoNotOptimize(s.ok());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CodecRoundTripP2a);
+
+void BM_RelayEnvelopeRoundTrip(benchmark::State& state) {
+  pigpaxos::RegisterPigPaxosMessages();
+  auto inner = std::make_shared<paxos::P2a>();
+  inner->ballot = Ballot(7, 3);
+  inner->slot = 99;
+  inner->command = Command::Put("key", "value", kFirstClientId, 1);
+  pigpaxos::RelayRequest req;
+  req.relay_id = 12345;
+  req.origin = 0;
+  for (NodeId n = 1; n <= static_cast<NodeId>(state.range(0)); ++n) {
+    req.members.push_back(n);
+  }
+  req.inner = inner;
+  auto wire = EncodeMessage(req);
+  for (auto _ : state) {
+    MessagePtr out;
+    Status s = DecodeMessage(wire, &out);
+    benchmark::DoNotOptimize(s.ok());
+  }
+}
+BENCHMARK(BM_RelayEnvelopeRoundTrip)->Arg(4)->Arg(12);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sched.ScheduleAfter(i, []() {});
+    }
+    sched.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(static_cast<TimeNs>(rng.NextBounded(10 * kMillisecond)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RngNextBounded(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBounded(25));
+  }
+}
+BENCHMARK(BM_RngNextBounded);
+
+void BM_RelayGroupReshuffle(benchmark::State& state) {
+  std::vector<NodeId> followers;
+  for (NodeId i = 1; i < 25; ++i) followers.push_back(i);
+  pigpaxos::RelayGroupPlanner planner(
+      followers, pigpaxos::RelayGroupConfig{
+                     3, pigpaxos::GroupingStrategy::kContiguous, nullptr});
+  Rng rng(3);
+  for (auto _ : state) {
+    planner.Reshuffle(rng);
+    benchmark::DoNotOptimize(planner.groups().size());
+  }
+}
+BENCHMARK(BM_RelayGroupReshuffle);
+
+}  // namespace
+}  // namespace pig
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Cloud configuration management example (paper §1): a single strongly
+// consistent configuration store replicated to MANY nodes — the vertical
+// scaling use case that motivates PigPaxos (feature gates, A/B test
+// configs, traffic-control settings, ML model updates of varying size).
+//
+// A 25-node cluster serves (a) a stream of small feature-gate flips and
+// (b) periodic large model/config pushes. We compare Paxos and PigPaxos
+// on the same workload.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace pig;
+using namespace pig::harness;
+
+namespace {
+
+void Scenario(const char* title, size_t payload, double read_ratio) {
+  std::printf("--- %s (payload %zu B, %.0f%% reads) ---\n", title, payload,
+              read_ratio * 100);
+  std::printf(
+      " protocol  | sustained tput (req/s) | p50(ms) | p99(ms)\n"
+      " ----------+------------------------+---------+--------\n");
+  for (Protocol proto : {Protocol::kPaxos, Protocol::kPigPaxos}) {
+    ExperimentConfig cfg;
+    cfg.protocol = proto;
+    cfg.num_replicas = 25;
+    cfg.relay_groups = 3;
+    cfg.workload.payload_size = payload;
+    cfg.workload.read_ratio = read_ratio;
+    cfg.workload.num_keys = 200;  // config keys, not a huge keyspace
+    cfg.num_clients = 128;
+    cfg.seed = 7;
+    RunResult res = RunExperiment(cfg);
+    std::printf(" %-9s | %22.1f | %7.3f | %7.3f\n",
+                ProtocolName(proto).c_str(), res.throughput, res.p50_ms,
+                res.p99_ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Configuration management store: 25 replicas, ONE conflict domain "
+      "(linearizable\nconfig updates), as motivated in §1 of the paper.\n\n");
+
+  Scenario("feature gate flips", 16, 0.5);
+  Scenario("application config documents", 1024, 0.2);
+  Scenario("model-fragment pushes", 4096, 0.0);
+
+  std::printf(
+      "PigPaxos sustains the same config fan-out with a fraction of the "
+      "leader's\nmessage load (2r+2 vs 2N), so one leader can serve "
+      "config to tens of replicas\n— the paper's vertical-scaling "
+      "story.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "client/closed_loop_client.h"
+
+#include <cassert>
+
+namespace pig::client {
+
+void Recorder::RecordCompletion(TimeNs issued_at, TimeNs completed_at,
+                                bool is_read) {
+  (void)is_read;
+  const size_t second = static_cast<size_t>(completed_at / kSecond);
+  if (timeline_.size() <= second) timeline_.resize(second + 1, 0);
+  timeline_[second]++;
+  if (completed_at < window_start_ || completed_at >= window_end_) return;
+  completed_++;
+  latency_.Record(completed_at - issued_at);
+}
+
+double Recorder::Throughput() const {
+  const TimeNs span = window_end_ - window_start_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(completed_) / ToSeconds(span);
+}
+
+// ---------------------------------------------------------------------------
+
+ClosedLoopClient::ClosedLoopClient(ClientConfig config,
+                                   std::shared_ptr<Recorder> recorder)
+    : config_(config),
+      recorder_(std::move(recorder)),
+      workload_(config.workload) {
+  assert(recorder_ != nullptr);
+}
+
+void ClosedLoopClient::OnStart() {
+  target_ = config_.initial_target;
+  TimeNs jitter =
+      config_.start_jitter > 0
+          ? static_cast<TimeNs>(env_->rng().NextBounded(
+                static_cast<uint64_t>(config_.start_jitter)))
+          : 0;
+  env_->SetTimer(jitter, [this]() { IssueNext(); });
+}
+
+NodeId ClosedLoopClient::PickTarget() {
+  if (config_.target_policy == TargetPolicy::kRandomReplica) {
+    return static_cast<NodeId>(
+        env_->rng().NextBounded(config_.num_replicas));
+  }
+  return target_;
+}
+
+void ClosedLoopClient::IssueNext() {
+  current_ = workload_.Next(env_->self(), ++seq_, env_->rng());
+  issued_++;
+  SendCurrent();
+}
+
+void ClosedLoopClient::SendCurrent() {
+  issued_at_ = env_->Now();
+  if (config_.target_policy == TargetPolicy::kRandomReplica) {
+    target_ = PickTarget();
+  }
+  env_->Send(target_, std::make_shared<pig::ClientRequest>(current_));
+  if (timeout_timer_ != kInvalidTimer) env_->CancelTimer(timeout_timer_);
+  timeout_timer_ = env_->SetTimer(config_.request_timeout,
+                                  [this]() { OnRequestTimeout(); });
+}
+
+void ClosedLoopClient::OnRequestTimeout() {
+  timeout_timer_ = kInvalidTimer;
+  recorder_->RecordTimeout();
+  // The leader may have changed or the request was lost: try another
+  // replica (round-robin away from the current target) and re-send the
+  // same command (dedup at replicas makes this safe).
+  if (config_.num_replicas > 1 &&
+      config_.target_policy == TargetPolicy::kFixedLeader) {
+    target_ = (target_ + 1) % config_.num_replicas;
+  }
+  SendCurrent();
+}
+
+void ClosedLoopClient::OnMessage(NodeId from, const MessagePtr& msg) {
+  (void)from;
+  if (msg->type() != MsgType::kClientReply) return;
+  const auto& reply = static_cast<const pig::ClientReply&>(*msg);
+  if (reply.seq != seq_) return;  // stale reply for an older request
+
+  if (reply.code == StatusCode::kNotLeader) {
+    recorder_->RecordRedirect();
+    if (reply.leader_hint != kInvalidNode &&
+        reply.leader_hint != target_) {
+      target_ = reply.leader_hint;
+    } else if (config_.num_replicas > 1) {
+      target_ = (target_ + 1) % config_.num_replicas;
+    }
+    if (timeout_timer_ != kInvalidTimer) {
+      env_->CancelTimer(timeout_timer_);
+      timeout_timer_ = kInvalidTimer;
+    }
+    env_->SetTimer(config_.redirect_backoff, [this]() { SendCurrent(); });
+    return;
+  }
+
+  if (timeout_timer_ != kInvalidTimer) {
+    env_->CancelTimer(timeout_timer_);
+    timeout_timer_ = kInvalidTimer;
+  }
+  recorder_->RecordCompletion(issued_at_, env_->Now(),
+                              current_.op == OpType::kGet);
+  IssueNext();
+}
+
+}  // namespace pig::client

@@ -1,0 +1,111 @@
+// Closed-loop benchmark clients and the shared measurement recorder.
+//
+// Each client keeps exactly one request outstanding (the paper sweeps
+// offered load by varying the number of clients). Completions inside the
+// measurement window feed a shared Recorder that produces throughput,
+// latency percentiles, and a per-second throughput timeline (Fig. 13).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/workload.h"
+#include "common/histogram.h"
+#include "consensus/client_messages.h"
+#include "consensus/env.h"
+
+namespace pig::client {
+
+using pig::Actor;
+using pig::Histogram;
+using pig::MessagePtr;
+using pig::TimeNs;
+using pig::TimerId;
+
+/// Aggregates completions across all clients of one experiment run.
+class Recorder {
+ public:
+  /// Completions outside [window_start, window_end) are ignored (warmup /
+  /// cooldown exclusion).
+  void SetWindow(TimeNs start, TimeNs end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  void RecordCompletion(TimeNs issued_at, TimeNs completed_at, bool is_read);
+  void RecordRedirect() { redirects_++; }
+  void RecordTimeout() { timeouts_++; }
+
+  uint64_t completed() const { return completed_; }
+  uint64_t redirects() const { return redirects_; }
+  uint64_t timeouts() const { return timeouts_; }
+  const Histogram& latency() const { return latency_; }
+
+  /// Requests per second over the measurement window.
+  double Throughput() const;
+
+  /// Per-second completion counts over the whole run (including warmup),
+  /// for throughput-over-time plots.
+  const std::vector<uint64_t>& timeline() const { return timeline_; }
+
+ private:
+  TimeNs window_start_ = 0;
+  TimeNs window_end_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t redirects_ = 0;
+  uint64_t timeouts_ = 0;
+  Histogram latency_;
+  std::vector<uint64_t> timeline_;
+};
+
+/// Where a client sends its requests.
+enum class TargetPolicy {
+  kFixedLeader,    ///< Paxos/PigPaxos: all traffic to the (known) leader.
+  kRandomReplica,  ///< EPaxos: a random replica per operation (paper §5.4).
+};
+
+struct ClientConfig {
+  WorkloadConfig workload;
+  TargetPolicy target_policy = TargetPolicy::kFixedLeader;
+  NodeId initial_target = 0;
+  size_t num_replicas = 0;  ///< Needed for kRandomReplica and redirects.
+
+  /// Re-issue a request unanswered for this long (leader crash, drops).
+  TimeNs request_timeout = 1 * kSecond;
+
+  /// Clients stagger their first request uniformly over this interval to
+  /// avoid a synchronized thundering herd at t=0.
+  TimeNs start_jitter = 5 * kMillisecond;
+
+  /// Backoff before retrying after a NotLeader redirect.
+  TimeNs redirect_backoff = 1 * kMillisecond;
+};
+
+class ClosedLoopClient : public Actor {
+ public:
+  ClosedLoopClient(ClientConfig config, std::shared_ptr<Recorder> recorder);
+
+  void OnStart() override;
+  void OnMessage(NodeId from, const MessagePtr& msg) override;
+
+  uint64_t issued() const { return issued_; }
+
+ private:
+  void IssueNext();
+  void SendCurrent();
+  void OnRequestTimeout();
+  NodeId PickTarget();
+
+  ClientConfig config_;
+  std::shared_ptr<Recorder> recorder_;
+  WorkloadGenerator workload_;
+
+  uint64_t seq_ = 0;
+  uint64_t issued_ = 0;
+  Command current_;
+  TimeNs issued_at_ = 0;
+  NodeId target_ = kInvalidNode;
+  TimerId timeout_timer_ = kInvalidTimer;
+};
+
+}  // namespace pig::client

@@ -1,0 +1,34 @@
+#include "client/workload.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace pig::client {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config) {
+  assert(config_.num_keys > 0);
+  assert(config_.key_size >= 4);
+  payload_.assign(config_.payload_size, 'v');
+}
+
+std::string WorkloadGenerator::KeyAt(uint64_t i) const {
+  // Fixed-width decimal suffix, 'k' prefix, zero padding to key_size.
+  std::string key = std::to_string(i);
+  std::string out(config_.key_size, '0');
+  out[0] = 'k';
+  const size_t copy = std::min(key.size(), config_.key_size - 1);
+  out.replace(config_.key_size - copy, copy, key.substr(key.size() - copy));
+  return out;
+}
+
+Command WorkloadGenerator::Next(NodeId client, uint64_t seq,
+                                Rng& rng) const {
+  std::string key = KeyAt(rng.NextBounded(config_.num_keys));
+  if (rng.NextDouble() < config_.read_ratio) {
+    return Command::Get(std::move(key), client, seq);
+  }
+  return Command::Put(std::move(key), payload_, client, seq);
+}
+
+}  // namespace pig::client

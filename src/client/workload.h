@@ -1,0 +1,43 @@
+// Paxi-style benchmark workload generation (paper §5.2): a fixed keyspace
+// of small keys picked uniformly at random, configurable read ratio and
+// value payload size.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "statemachine/command.h"
+
+namespace pig::client {
+
+using pig::Command;
+using pig::NodeId;
+using pig::Rng;
+
+struct WorkloadConfig {
+  size_t num_keys = 1000;    ///< Paper: 1000 distinct keys.
+  size_t key_size = 8;       ///< Paper: 8-byte keys.
+  size_t payload_size = 8;   ///< Value bytes for writes (Fig. 12 sweeps).
+  double read_ratio = 0.5;   ///< Paper default: 50/50 read-write.
+};
+
+/// Stateless command factory; deterministic given the caller's Rng.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Produces the next command for `client` with sequence number `seq`.
+  Command Next(NodeId client, uint64_t seq, Rng& rng) const;
+
+  /// The fixed-width key string for index `i` (also used by tests).
+  std::string KeyAt(uint64_t i) const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  std::string payload_;  // pre-built write payload
+};
+
+}  // namespace pig::client

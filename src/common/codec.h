@@ -1,0 +1,148 @@
+// Binary wire codec.
+//
+// All protocol messages encode through Encoder/Decoder so that the
+// simulated network can account wire sizes on the same code path a real
+// transport would use. Layout: little-endian fixed-width integers, LEB128
+// varints for lengths, length-prefixed byte strings.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pig {
+
+/// Appends primitive values to a byte buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+
+  /// LEB128 unsigned varint (1-10 bytes).
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Length-prefixed byte string.
+  void PutBytes(std::string_view s) {
+    PutVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void PutBool(bool b) { PutU8(b ? 1 : 0); }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t tmp[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads primitive values back out of a byte buffer. All getters return
+/// Corruption on underflow/overlong input instead of asserting, so a
+/// malformed message can never crash a replica.
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU8(uint8_t* out) {
+    if (pos_ + 1 > size_) return Underflow();
+    *out = data_[pos_++];
+    return Status::Ok();
+  }
+
+  Status GetU32(uint32_t* out) { return GetFixed(out); }
+  Status GetU64(uint64_t* out) { return GetFixed(out); }
+  Status GetI64(int64_t* out) {
+    uint64_t tmp = 0;
+    Status s = GetFixed(&tmp);
+    if (s.ok()) *out = static_cast<int64_t>(tmp);
+    return s;
+  }
+
+  Status GetVarint(uint64_t* out) {
+    uint64_t result = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Underflow();
+      uint8_t byte = data_[pos_++];
+      if (shift >= 63 && byte > 1) {
+        return Status::Corruption("varint overflow");
+      }
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = result;
+    return Status::Ok();
+  }
+
+  Status GetBytes(std::string* out) {
+    uint64_t len = 0;
+    Status s = GetVarint(&len);
+    if (!s.ok()) return s;
+    if (pos_ + len > size_) return Underflow();
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::Ok();
+  }
+
+  Status GetBool(bool* out) {
+    uint8_t v = 0;
+    Status s = GetU8(&v);
+    if (s.ok()) *out = (v != 0);
+    return s;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  static Status Underflow() {
+    return Status::Corruption("decode underflow");
+  }
+
+  template <typename T>
+  Status GetFixed(T* out) {
+    if (pos_ + sizeof(T) > size_) return Underflow();
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::Ok();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pig

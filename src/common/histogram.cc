@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace pig {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(TimeNs value) {
+  if (value <= 0) return 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  int log2 = 63 - std::countl_zero(v);
+  // Sub-bucket index from the bits just below the leading one.
+  int sub;
+  if (log2 >= 5) {
+    sub = static_cast<int>((v >> (log2 - 5)) & (kSubBuckets - 1));
+  } else {
+    sub = static_cast<int>(v & ((1ull << log2) - 1));
+  }
+  int idx = log2 * kSubBuckets + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+TimeNs Histogram::BucketUpperBound(int bucket) {
+  int log2 = bucket / kSubBuckets;
+  int sub = bucket % kSubBuckets;
+  if (log2 >= 63) return std::numeric_limits<TimeNs>::max();
+  uint64_t base = 1ull << log2;
+  uint64_t width = log2 >= 5 ? (base >> 5) : 1;
+  uint64_t bound = base + width * static_cast<uint64_t>(sub + 1);
+  return static_cast<TimeNs>(std::min<uint64_t>(
+      bound, static_cast<uint64_t>(std::numeric_limits<TimeNs>::max())));
+}
+
+void Histogram::Record(TimeNs value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value);
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::MeanNs() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+TimeNs Histogram::QuantileNs(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count_), MeanMillis(),
+                QuantileMillis(0.50), QuantileMillis(0.99),
+                static_cast<double>(max_) / 1e6);
+  return buf;
+}
+
+}  // namespace pig

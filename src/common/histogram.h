@@ -1,0 +1,53 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+//
+// Values are nanoseconds. Buckets grow geometrically, giving ~2% relative
+// error across nine decades, which is ample for latency percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pig {
+
+/// Records durations and answers percentile/mean queries.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(TimeNs value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  TimeNs min() const { return count_ ? min_ : 0; }
+  TimeNs max() const { return max_; }
+  double MeanNs() const;
+  /// q in [0, 1]; returns an upper bucket bound for the quantile.
+  TimeNs QuantileNs(double q) const;
+
+  double MeanMillis() const { return MeanNs() / 1e6; }
+  double QuantileMillis(double q) const {
+    return static_cast<double>(QuantileNs(q)) / 1e6;
+  }
+
+  /// One-line summary, e.g. "n=1000 mean=1.2ms p50=1.1ms p99=3.4ms".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 32;  // per power of two
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(TimeNs value);
+  static TimeNs BucketUpperBound(int bucket);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  TimeNs min_ = 0;
+  TimeNs max_ = 0;
+};
+
+}  // namespace pig

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator runs millions of events per second, so logging defaults to
+// kWarn; tests and examples raise verbosity selectively. The logger is a
+// process-wide singleton guarded by a mutex (cold path only).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pig {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; records below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted record to stderr. Prefer the PIG_LOG macro.
+void LogRecord(LogLevel level, const char* file, int line,
+               const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogRecord(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define PIG_LOG(level)                                       \
+  if (::pig::GetLogLevel() > ::pig::LogLevel::level) {       \
+  } else                                                     \
+    ::pig::detail::LogMessage(::pig::LogLevel::level,        \
+                              __FILE__, __LINE__)            \
+        .stream()
+
+}  // namespace pig

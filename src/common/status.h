@@ -1,0 +1,130 @@
+// Status and Result types used across the library instead of exceptions.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T> when they produce a value). Statuses are cheap to
+// copy for the OK case and carry a message otherwise.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pig {
+
+/// Error categories used throughout the library.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kTimeout,
+  kUnavailable,   ///< No quorum / peer unreachable / shutting down.
+  kNotLeader,     ///< Request must be retried at the current leader.
+  kAborted,       ///< Superseded by a higher ballot.
+  kCorruption,    ///< Codec/deserialization failure.
+  kOutOfRange,    ///< Slot/index outside the valid window.
+  kAlreadyExists,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a code ("Ok", "Timeout", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that may fail. OK statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NotLeader(std::string msg) {
+    return Status(StatusCode::kNotLeader, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsNotLeader() const { return code_ == StatusCode::kNotLeader; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) {   // NOLINT(implicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pig

@@ -1,0 +1,43 @@
+// Fundamental identifier and time types shared by all modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pig {
+
+/// Identifies a participant (replica or client) in a cluster.
+/// Replicas occupy [0, num_replicas); clients start at kFirstClientId.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// First id handed to benchmark/application clients.
+inline constexpr NodeId kFirstClientId = 1u << 20;
+
+/// True when `id` denotes a client rather than a replica.
+inline constexpr bool IsClientId(NodeId id) { return id >= kFirstClientId; }
+
+/// Simulated (and wall-clock) time in nanoseconds since run start.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+/// Converts nanoseconds to (fractional) milliseconds for reporting.
+inline constexpr double ToMillis(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts nanoseconds to (fractional) seconds for reporting.
+inline constexpr double ToSeconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Index of a consensus instance in the replicated log.
+using SlotId = int64_t;
+
+inline constexpr SlotId kInvalidSlot = -1;
+
+}  // namespace pig

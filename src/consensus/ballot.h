@@ -1,0 +1,61 @@
+// Paxos ballot numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/codec.h"
+#include "common/types.h"
+
+namespace pig {
+
+/// A totally ordered ballot: (round counter, proposer id). Proposer id
+/// breaks ties so two nodes can never own the same ballot.
+struct Ballot {
+  uint64_t counter = 0;
+  NodeId node = kInvalidNode;
+
+  constexpr Ballot() = default;
+  constexpr Ballot(uint64_t c, NodeId n) : counter(c), node(n) {}
+
+  /// Zero ballot: smaller than any real proposal.
+  static constexpr Ballot Zero() { return Ballot(0, 0); }
+
+  bool IsZero() const { return counter == 0; }
+
+  /// The smallest ballot owned by `owner` that is strictly greater than
+  /// this one — used by a candidate taking over leadership.
+  Ballot Next(NodeId owner) const { return Ballot(counter + 1, owner); }
+
+  friend bool operator==(const Ballot& a, const Ballot& b) {
+    return a.counter == b.counter && a.node == b.node;
+  }
+  friend bool operator!=(const Ballot& a, const Ballot& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Ballot& a, const Ballot& b) {
+    if (a.counter != b.counter) return a.counter < b.counter;
+    return a.node < b.node;
+  }
+  friend bool operator<=(const Ballot& a, const Ballot& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Ballot& a, const Ballot& b) { return b < a; }
+  friend bool operator>=(const Ballot& a, const Ballot& b) { return b <= a; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(counter);
+    enc.PutU32(node);
+  }
+  static Status Decode(Decoder& dec, Ballot* out) {
+    Status s = dec.GetU64(&out->counter);
+    if (!s.ok()) return s;
+    return dec.GetU32(&out->node);
+  }
+
+  std::string ToString() const {
+    return std::to_string(counter) + "." + std::to_string(node);
+  }
+};
+
+}  // namespace pig

@@ -1,0 +1,57 @@
+#include "consensus/client_messages.h"
+
+#include "consensus/ballot.h"
+
+namespace pig {
+
+Status ClientRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto msg = std::make_shared<ClientRequest>();
+  Status s = Command::Decode(dec, &msg->cmd);
+  if (!s.ok()) return s;
+  *out = std::move(msg);
+  return Status::Ok();
+}
+
+void ClientReply::EncodeBody(Encoder& enc) const {
+  enc.PutU64(seq);
+  enc.PutU8(static_cast<uint8_t>(code));
+  enc.PutBytes(value);
+  enc.PutU32(leader_hint);
+  enc.PutI64(slot);
+}
+
+Status ClientReply::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto msg = std::make_shared<ClientReply>();
+  Status s;
+  if (!(s = dec.GetU64(&msg->seq)).ok()) return s;
+  uint8_t code = 0;
+  if (!(s = dec.GetU8(&code)).ok()) return s;
+  msg->code = static_cast<StatusCode>(code);
+  if (!(s = dec.GetBytes(&msg->value)).ok()) return s;
+  if (!(s = dec.GetU32(&msg->leader_hint)).ok()) return s;
+  if (!(s = dec.GetI64(&msg->slot)).ok()) return s;
+  *out = std::move(msg);
+  return Status::Ok();
+}
+
+std::string ClientReply::DebugString() const {
+  return "ClientReply{seq=" + std::to_string(seq) + ", " +
+         std::string(StatusCodeName(code)) + "}";
+}
+
+Status Heartbeat::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto msg = std::make_shared<Heartbeat>();
+  Status s = Ballot::Decode(dec, &msg->ballot);
+  if (!s.ok()) return s;
+  if (!(s = dec.GetI64(&msg->commit_index)).ok()) return s;
+  *out = std::move(msg);
+  return Status::Ok();
+}
+
+void RegisterCommonMessages() {
+  RegisterMessageDecoder(MsgType::kClientRequest, &ClientRequest::DecodeBody);
+  RegisterMessageDecoder(MsgType::kClientReply, &ClientReply::DecodeBody);
+  RegisterMessageDecoder(MsgType::kHeartbeat, &Heartbeat::DecodeBody);
+}
+
+}  // namespace pig

@@ -1,0 +1,67 @@
+// Client <-> replica messages, shared by all protocols.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "consensus/ballot.h"
+#include "consensus/message.h"
+#include "statemachine/command.h"
+
+namespace pig {
+
+/// A client submits one command. `cmd.client` / `cmd.seq` identify the
+/// request for reply matching.
+struct ClientRequest final : Message {
+  Command cmd;
+
+  ClientRequest() = default;
+  explicit ClientRequest(Command c) : cmd(std::move(c)) {}
+
+  MsgType type() const override { return MsgType::kClientRequest; }
+  void EncodeBody(Encoder& enc) const override { cmd.Encode(enc); }
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override {
+    return "ClientRequest{" + cmd.DebugString() + "}";
+  }
+};
+
+/// Reply to one ClientRequest.
+struct ClientReply final : Message {
+  uint64_t seq = 0;              ///< Echoes Command::seq.
+  StatusCode code = StatusCode::kOk;
+  std::string value;             ///< Get result (empty for Put).
+  NodeId leader_hint = kInvalidNode;  ///< Where to retry on kNotLeader.
+  SlotId slot = kInvalidSlot;    ///< Slot the command committed at.
+
+  MsgType type() const override { return MsgType::kClientReply; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// Leader liveness beacon; also piggybacks the commit index so idle
+/// followers keep executing.
+struct Heartbeat final : Message {
+  Ballot ballot;
+  SlotId commit_index = kInvalidSlot;
+
+  MsgType type() const override { return MsgType::kHeartbeat; }
+  void EncodeBody(Encoder& enc) const override {
+    ballot.Encode(enc);
+    enc.PutI64(commit_index);
+  }
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override {
+    return "Heartbeat{b=" + ballot.ToString() +
+           ", ci=" + std::to_string(commit_index) + "}";
+  }
+};
+
+/// Registers decoders for the message types in this header.
+void RegisterCommonMessages();
+
+}  // namespace pig

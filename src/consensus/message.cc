@@ -1,0 +1,63 @@
+#include "consensus/message.h"
+
+#include <array>
+#include <cstdio>
+
+namespace pig {
+
+namespace {
+std::array<MessageDecodeFn, 256>& Registry() {
+  static std::array<MessageDecodeFn, 256> registry{};
+  return registry;
+}
+}  // namespace
+
+std::string Message::DebugString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "msg(type=%u, %zu bytes)",
+                static_cast<unsigned>(type()), WireSize());
+  return buf;
+}
+
+size_t Message::WireSize() const {
+  if (cached_size_ == 0) {
+    Encoder enc;
+    enc.PutU8(static_cast<uint8_t>(type()));
+    EncodeBody(enc);
+    cached_size_ = enc.size();
+  }
+  return cached_size_;
+}
+
+std::vector<uint8_t> EncodeMessage(const Message& msg) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(msg.type()));
+  msg.EncodeBody(enc);
+  return enc.TakeBuffer();
+}
+
+void RegisterMessageDecoder(MsgType type, MessageDecodeFn fn) {
+  Registry()[static_cast<uint8_t>(type)] = fn;
+}
+
+Status DecodeMessage(const uint8_t* data, size_t size, MessagePtr* out) {
+  Decoder dec(data, size);
+  uint8_t tag = 0;
+  Status s = dec.GetU8(&tag);
+  if (!s.ok()) return s;
+  MessageDecodeFn fn = Registry()[tag];
+  if (fn == nullptr) {
+    return Status::Corruption("no decoder registered for message type " +
+                              std::to_string(tag));
+  }
+  s = fn(dec, out);
+  if (!s.ok()) return s;
+  if (!dec.Done()) return Status::Corruption("trailing bytes after message");
+  return Status::Ok();
+}
+
+Status DecodeMessage(const std::vector<uint8_t>& wire, MessagePtr* out) {
+  return DecodeMessage(wire.data(), wire.size(), out);
+}
+
+}  // namespace pig

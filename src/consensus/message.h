@@ -1,0 +1,86 @@
+// Wire message framework.
+//
+// Every protocol message derives from Message and implements binary
+// encode/decode through common/codec.h. The simulated network charges
+// bandwidth/CPU using the real encoded size; the threaded runtime does a
+// full encode/decode round trip, so serialization is always exercised.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pig {
+
+/// All message kinds in the library. The numeric value is the wire tag.
+enum class MsgType : uint8_t {
+  // Client interaction (consensus/client_messages.h)
+  kClientRequest = 1,
+  kClientReply = 2,
+  // Liveness (consensus/heartbeat.h)
+  kHeartbeat = 3,
+  // Multi-Paxos (paxos/messages.h)
+  kP1a = 10,
+  kP1b = 11,
+  kP2a = 12,
+  kP2b = 13,
+  kP3 = 14,
+  kLogSyncRequest = 15,
+  kLogSyncResponse = 16,
+  // PigPaxos relay envelope (pigpaxos/messages.h)
+  kRelayRequest = 20,
+  kRelayResponse = 21,
+  // EPaxos (epaxos/messages.h)
+  kPreAccept = 30,
+  kPreAcceptReply = 31,
+  kEAccept = 32,
+  kEAcceptReply = 33,
+  kECommit = 34,
+  // Paxos Quorum Reads extension (paxos/quorum_reads.h)
+  kQuorumReadRequest = 40,
+  kQuorumReadReply = 41,
+};
+
+/// Base class for every message exchanged between actors.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  virtual MsgType type() const = 0;
+
+  /// Appends the message body (without the type tag) to `enc`.
+  virtual void EncodeBody(Encoder& enc) const = 0;
+
+  /// Short human-readable form for logging/tracing.
+  virtual std::string DebugString() const;
+
+  /// Total wire size (type tag + body), computed once and cached.
+  size_t WireSize() const;
+
+ private:
+  mutable size_t cached_size_ = 0;  // 0 = not yet computed
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Encodes `msg` with its leading type tag.
+std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+/// Decoder function for one message type: parses a body.
+using MessageDecodeFn = Status (*)(Decoder& dec, MessagePtr* out);
+
+/// Registers a decoder for `type`. Protocols call this from their
+/// Register*Messages() functions; re-registration overwrites.
+void RegisterMessageDecoder(MsgType type, MessageDecodeFn fn);
+
+/// Parses a full wire buffer (tag + body). Fails with Corruption for
+/// unknown tags, truncated bodies, or trailing garbage.
+Status DecodeMessage(const std::vector<uint8_t>& wire, MessagePtr* out);
+Status DecodeMessage(const uint8_t* data, size_t size, MessagePtr* out);
+
+}  // namespace pig

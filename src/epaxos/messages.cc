@@ -1,0 +1,153 @@
+#include "epaxos/messages.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "consensus/client_messages.h"
+
+namespace pig::epaxos {
+
+void NormalizeDeps(DepSet& deps) {
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+}
+
+void UnionDeps(DepSet& into, const DepSet& other) {
+  into.insert(into.end(), other.begin(), other.end());
+  NormalizeDeps(into);
+}
+
+void EncodeDeps(Encoder& enc, const DepSet& deps) {
+  enc.PutVarint(deps.size());
+  for (const InstanceId& d : deps) d.Encode(enc);
+}
+
+Status DecodeDeps(Decoder& dec, DepSet* out) {
+  uint64_t n = 0;
+  Status s = dec.GetVarint(&n);
+  if (!s.ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("dep count too big");
+  out->resize(static_cast<size_t>(n));
+  for (auto& d : *out) {
+    if (!(s = InstanceId::Decode(dec, &d)).ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void PreAccept::EncodeBody(Encoder& enc) const {
+  ballot.Encode(enc);
+  inst.Encode(enc);
+  cmd.Encode(enc);
+  enc.PutU64(seq);
+  EncodeDeps(enc, deps);
+}
+
+Status PreAccept::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<PreAccept>();
+  Status s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
+  if (!(s = Command::Decode(dec, &m->cmd)).ok()) return s;
+  if (!(s = dec.GetU64(&m->seq)).ok()) return s;
+  if (!(s = DecodeDeps(dec, &m->deps)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string PreAccept::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "PreAccept{%s, seq=%llu, %zu deps}",
+                inst.ToString().c_str(),
+                static_cast<unsigned long long>(seq), deps.size());
+  return buf;
+}
+
+void PreAcceptReply::EncodeBody(Encoder& enc) const {
+  enc.PutU32(sender);
+  inst.Encode(enc);
+  enc.PutBool(ok);
+  ballot.Encode(enc);
+  enc.PutU64(seq);
+  EncodeDeps(enc, deps);
+}
+
+Status PreAcceptReply::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<PreAcceptReply>();
+  Status s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
+  if (!(s = dec.GetBool(&m->ok)).ok()) return s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetU64(&m->seq)).ok()) return s;
+  if (!(s = DecodeDeps(dec, &m->deps)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void EAccept::EncodeBody(Encoder& enc) const {
+  ballot.Encode(enc);
+  inst.Encode(enc);
+  cmd.Encode(enc);
+  enc.PutU64(seq);
+  EncodeDeps(enc, deps);
+}
+
+Status EAccept::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<EAccept>();
+  Status s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
+  if (!(s = Command::Decode(dec, &m->cmd)).ok()) return s;
+  if (!(s = dec.GetU64(&m->seq)).ok()) return s;
+  if (!(s = DecodeDeps(dec, &m->deps)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void EAcceptReply::EncodeBody(Encoder& enc) const {
+  enc.PutU32(sender);
+  inst.Encode(enc);
+  enc.PutBool(ok);
+  ballot.Encode(enc);
+}
+
+Status EAcceptReply::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<EAcceptReply>();
+  Status s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
+  if (!(s = dec.GetBool(&m->ok)).ok()) return s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void ECommit::EncodeBody(Encoder& enc) const {
+  inst.Encode(enc);
+  cmd.Encode(enc);
+  enc.PutU64(seq);
+  EncodeDeps(enc, deps);
+}
+
+Status ECommit::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<ECommit>();
+  Status s;
+  if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
+  if (!(s = Command::Decode(dec, &m->cmd)).ok()) return s;
+  if (!(s = dec.GetU64(&m->seq)).ok()) return s;
+  if (!(s = DecodeDeps(dec, &m->deps)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void RegisterEPaxosMessages() {
+  pig::RegisterCommonMessages();
+  RegisterMessageDecoder(MsgType::kPreAccept, &PreAccept::DecodeBody);
+  RegisterMessageDecoder(MsgType::kPreAcceptReply,
+                         &PreAcceptReply::DecodeBody);
+  RegisterMessageDecoder(MsgType::kEAccept, &EAccept::DecodeBody);
+  RegisterMessageDecoder(MsgType::kEAcceptReply, &EAcceptReply::DecodeBody);
+  RegisterMessageDecoder(MsgType::kECommit, &ECommit::DecodeBody);
+}
+
+}  // namespace pig::epaxos

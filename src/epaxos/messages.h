@@ -1,0 +1,135 @@
+// EPaxos wire messages (Moraru et al., SOSP'13) — the multi-leader
+// baseline the paper compares against (§2.3, §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consensus/ballot.h"
+#include "consensus/message.h"
+#include "statemachine/command.h"
+
+namespace pig::epaxos {
+
+using pig::Ballot;
+using pig::Command;
+using pig::Decoder;
+using pig::Encoder;
+using pig::Message;
+using pig::MessagePtr;
+using pig::MsgType;
+using pig::NodeId;
+using pig::Status;
+
+/// Identifies one instance in the two-dimensional EPaxos instance space:
+/// the `index`-th command proposed by `replica`.
+struct InstanceId {
+  NodeId replica = kInvalidNode;
+  uint64_t index = 0;
+
+  friend bool operator==(const InstanceId& a, const InstanceId& b) {
+    return a.replica == b.replica && a.index == b.index;
+  }
+  friend bool operator<(const InstanceId& a, const InstanceId& b) {
+    if (a.replica != b.replica) return a.replica < b.replica;
+    return a.index < b.index;
+  }
+
+  void Encode(Encoder& enc) const {
+    enc.PutU32(replica);
+    enc.PutU64(index);
+  }
+  static Status Decode(Decoder& dec, InstanceId* out) {
+    Status s = dec.GetU32(&out->replica);
+    if (!s.ok()) return s;
+    return dec.GetU64(&out->index);
+  }
+
+  std::string ToString() const {
+    return std::to_string(replica) + "." + std::to_string(index);
+  }
+};
+
+struct InstanceIdHash {
+  size_t operator()(const InstanceId& id) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(id.replica) << 44) ^ id.index);
+  }
+};
+
+/// Sorted, de-duplicated dependency list.
+using DepSet = std::vector<InstanceId>;
+
+void NormalizeDeps(DepSet& deps);
+void UnionDeps(DepSet& into, const DepSet& other);
+void EncodeDeps(Encoder& enc, const DepSet& deps);
+Status DecodeDeps(Decoder& dec, DepSet* out);
+
+/// Command leader -> replicas: propose `cmd` with initial attributes.
+struct PreAccept final : Message {
+  Ballot ballot;
+  InstanceId inst;
+  Command cmd;
+  uint64_t seq = 0;
+  DepSet deps;
+
+  MsgType type() const override { return MsgType::kPreAccept; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Replica -> command leader: merged attributes.
+struct PreAcceptReply final : Message {
+  NodeId sender = kInvalidNode;
+  InstanceId inst;
+  bool ok = true;
+  Ballot ballot;
+  uint64_t seq = 0;
+  DepSet deps;
+
+  MsgType type() const override { return MsgType::kPreAcceptReply; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+};
+
+/// Slow path: Paxos-Accept on the union attributes.
+struct EAccept final : Message {
+  Ballot ballot;
+  InstanceId inst;
+  Command cmd;
+  uint64_t seq = 0;
+  DepSet deps;
+
+  MsgType type() const override { return MsgType::kEAccept; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+};
+
+struct EAcceptReply final : Message {
+  NodeId sender = kInvalidNode;
+  InstanceId inst;
+  bool ok = true;
+  Ballot ballot;
+
+  MsgType type() const override { return MsgType::kEAcceptReply; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+};
+
+/// Commit notification with final attributes.
+struct ECommit final : Message {
+  InstanceId inst;
+  Command cmd;
+  uint64_t seq = 0;
+  DepSet deps;
+
+  MsgType type() const override { return MsgType::kECommit; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+};
+
+/// Registers EPaxos message decoders (plus common client messages).
+void RegisterEPaxosMessages();
+
+}  // namespace pig::epaxos

@@ -1,0 +1,220 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pig::harness {
+
+std::string ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kPaxos:
+      return "Paxos";
+    case Protocol::kPigPaxos:
+      return "PigPaxos";
+    case Protocol::kEPaxos:
+      return "EPaxos";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Region assignment used for Topology::kWanVaCaOr: contiguous blocks of
+/// N/3 nodes per region; node 0 (the bootstrap leader) is in Virginia.
+int RegionOfNode(NodeId node, size_t num_replicas) {
+  const size_t per_region = (num_replicas + 2) / 3;
+  size_t region = node / per_region;
+  return static_cast<int>(std::min<size_t>(region, 2));
+}
+
+std::shared_ptr<net::RegionalLatency> BuildWanTopology(
+    const ExperimentConfig& config) {
+  auto topo = net::MakeVaCaOrTopology();
+  for (NodeId n = 0; n < config.num_replicas; ++n) {
+    topo->AssignRegion(n, RegionOfNode(n, config.num_replicas));
+  }
+  // Clients are colocated with the leader's region (default region 0 =
+  // Virginia), matching the paper's setup.
+  return topo;
+}
+
+paxos::PaxosOptions MakePaxosOptions(const ExperimentConfig& config) {
+  paxos::PaxosOptions opt;
+  opt.num_replicas = config.num_replicas;
+  if (config.flexible_q1 > 0 && config.flexible_q2 > 0) {
+    opt.quorum = std::make_shared<pig::FlexibleQuorum>(
+        config.num_replicas, config.flexible_q1, config.flexible_q2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+RunResult RunExperiment(const ExperimentConfig& config) {
+  assert(config.num_replicas >= 1);
+
+  sim::ClusterOptions copt;
+  copt.seed = config.seed;
+  copt.replica_cpu = config.replica_cpu;
+  copt.network.drop_probability = config.drop_probability;
+  std::shared_ptr<net::RegionalLatency> wan;
+  if (config.topology == Topology::kWanVaCaOr) {
+    wan = BuildWanTopology(config);
+    copt.network.latency = wan;
+  }
+
+  sim::Cluster cluster(copt);
+
+  // --- Replicas ---------------------------------------------------------
+  for (NodeId id = 0; id < config.num_replicas; ++id) {
+    switch (config.protocol) {
+      case Protocol::kPaxos: {
+        cluster.AddReplica(id, std::make_unique<paxos::PaxosReplica>(
+                                   id, MakePaxosOptions(config)));
+        break;
+      }
+      case Protocol::kPigPaxos: {
+        pigpaxos::PigPaxosOptions popt;
+        popt.paxos = MakePaxosOptions(config);
+        popt.num_relay_groups = config.relay_groups;
+        popt.relay_timeout = config.relay_timeout;
+        popt.group_response_threshold = config.group_response_threshold;
+        popt.relay_layers = config.relay_layers;
+        popt.reshuffle_interval = config.reshuffle_interval;
+        if (config.topology == Topology::kWanVaCaOr) {
+          // One relay group per region (§6.4).
+          popt.grouping = pigpaxos::GroupingStrategy::kRegion;
+          const size_t n = config.num_replicas;
+          popt.region_of = [n](NodeId node) {
+            return RegionOfNode(node, n);
+          };
+        }
+        cluster.AddReplica(
+            id, std::make_unique<pigpaxos::PigPaxosReplica>(id, popt));
+        break;
+      }
+      case Protocol::kEPaxos: {
+        epaxos::EPaxosOptions eopt;
+        eopt.num_replicas = config.num_replicas;
+        cluster.AddReplica(
+            id, std::make_unique<epaxos::EPaxosReplica>(id, eopt));
+        break;
+      }
+    }
+  }
+
+  // --- Clients ------------------------------------------------------------
+  auto recorder = std::make_shared<client::Recorder>();
+  recorder->SetWindow(config.warmup, config.warmup + config.measure);
+  for (size_t i = 0; i < config.num_clients; ++i) {
+    client::ClientConfig ccfg;
+    ccfg.workload = config.workload;
+    ccfg.num_replicas = config.num_replicas;
+    ccfg.initial_target = 0;
+    ccfg.target_policy = config.protocol == Protocol::kEPaxos
+                             ? client::TargetPolicy::kRandomReplica
+                             : client::TargetPolicy::kFixedLeader;
+    cluster.AddClient(
+        sim::Cluster::MakeClientId(static_cast<uint32_t>(i)),
+        std::make_unique<client::ClosedLoopClient>(ccfg, recorder));
+  }
+
+  for (const auto& [when, node] : config.crash_at) {
+    cluster.CrashAt(when, node);
+  }
+  for (const auto& [when, node] : config.recover_at) {
+    cluster.RecoverAt(when, node);
+  }
+  if (config.customize) config.customize(cluster);
+
+  cluster.Start();
+
+  // Warmup, then measure with fresh traffic/CPU counters.
+  cluster.RunUntil(config.warmup);
+  cluster.network().ResetStats();
+  cluster.ResetCpuStats();
+  cluster.RunUntil(config.warmup + config.measure);
+
+  RunResult result;
+  result.throughput = recorder->Throughput();
+  result.mean_ms = recorder->latency().MeanMillis();
+  result.p50_ms = recorder->latency().QuantileMillis(0.50);
+  result.p99_ms = recorder->latency().QuantileMillis(0.99);
+  result.completed = recorder->completed();
+  result.timeouts = recorder->timeouts();
+  result.redirects = recorder->redirects();
+  result.timeline = recorder->timeline();
+  result.cross_region_msgs = cluster.network().cross_region_msgs();
+  result.total_events = cluster.scheduler().executed_count();
+
+  const double requests = std::max<double>(1.0, (double)recorder->completed());
+  for (NodeId id = 0; id < config.num_replicas; ++id) {
+    const net::TrafficStats& s = cluster.network().StatsFor(id);
+    result.msgs_per_request.push_back(
+        static_cast<double>(s.msgs_sent + s.msgs_received) / requests);
+    result.cpu_utilization.push_back(
+        cluster.CpuUtilization(id, config.measure));
+    if (config.protocol != Protocol::kEPaxos) {
+      const auto* rep =
+          static_cast<const paxos::PaxosReplica*>(cluster.actor(id));
+      result.elections_started += rep->metrics().elections_started;
+      result.propose_retries += rep->metrics().propose_retries;
+      result.log_syncs += rep->metrics().log_syncs;
+      if (config.protocol == Protocol::kPigPaxos) {
+        const auto* pig =
+            static_cast<const pigpaxos::PigPaxosReplica*>(cluster.actor(id));
+        result.relay_timeouts += pig->relay_metrics().relay_timeouts;
+        result.relay_early_batches += pig->relay_metrics().early_batches;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<LoadPoint> LatencyThroughputSweep(
+    ExperimentConfig config, const std::vector<size_t>& client_counts) {
+  std::vector<LoadPoint> points;
+  for (size_t clients : client_counts) {
+    config.num_clients = clients;
+    RunResult r = RunExperiment(config);
+    points.push_back(LoadPoint{clients, r.throughput, r.mean_ms, r.p50_ms,
+                               r.p99_ms});
+  }
+  return points;
+}
+
+double MaxThroughput(ExperimentConfig config, size_t start_clients,
+                     size_t max_clients) {
+  double best = 0;
+  for (size_t clients = start_clients; clients <= max_clients;
+       clients *= 2) {
+    config.num_clients = clients;
+    RunResult r = RunExperiment(config);
+    if (r.throughput <= best * 1.05) {
+      return std::max(best, r.throughput);
+    }
+    best = r.throughput;
+  }
+  return best;
+}
+
+std::string FormatSweep(const std::string& title,
+                        const std::vector<LoadPoint>& points) {
+  std::string out = title + "\n";
+  out +=
+      "  clients |  tput(req/s) | mean(ms) |  p50(ms) |  p99(ms)\n"
+      "  --------+--------------+----------+----------+---------\n";
+  char line[160];
+  for (const LoadPoint& p : points) {
+    std::snprintf(line, sizeof(line),
+                  "  %7zu | %12.1f | %8.3f | %8.3f | %8.3f\n", p.clients,
+                  p.throughput, p.mean_ms, p.p50_ms, p.p99_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pig::harness

@@ -1,0 +1,123 @@
+// Experiment harness: builds a simulated cluster for a protocol + workload
+// configuration, runs it with warmup exclusion, and reports throughput,
+// latency percentiles, per-node traffic and CPU utilization.
+//
+// Every bench binary in bench/ is a thin wrapper around this harness.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/closed_loop_client.h"
+#include "net/latency.h"
+#include "paxos/replica.h"
+#include "pigpaxos/replica.h"
+#include "epaxos/replica.h"
+#include "sim/cluster.h"
+
+namespace pig::harness {
+
+using pig::TimeNs;
+
+enum class Protocol { kPaxos, kPigPaxos, kEPaxos };
+
+std::string ProtocolName(Protocol p);
+
+enum class Topology { kLan, kWanVaCaOr };
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kPaxos;
+  size_t num_replicas = 5;
+  size_t num_clients = 20;
+  client::WorkloadConfig workload;
+
+  // --- PigPaxos-specific ------------------------------------------------
+  size_t relay_groups = 2;
+  TimeNs relay_timeout = 50 * kMillisecond;
+  size_t group_response_threshold = 0;  ///< §4.2 partial responses.
+  uint32_t relay_layers = 1;            ///< §6.3 multi-layer trees.
+  TimeNs reshuffle_interval = 0;        ///< §4.1 dynamic regrouping.
+
+  /// Flexible quorum sizes (0 = classic majority). Applies to Paxos and
+  /// PigPaxos (§2.2).
+  size_t flexible_q1 = 0;
+  size_t flexible_q2 = 0;
+
+  // --- Environment -------------------------------------------------------
+  Topology topology = Topology::kLan;
+  uint64_t seed = 1;
+  double drop_probability = 0.0;
+  sim::CpuModel replica_cpu = sim::DefaultReplicaCpu();
+
+  // --- Measurement --------------------------------------------------------
+  TimeNs warmup = 1 * kSecond;
+  TimeNs measure = 3 * kSecond;
+
+  /// Fault injection: (virtual time, node) pairs.
+  std::vector<std::pair<TimeNs, NodeId>> crash_at;
+  std::vector<std::pair<TimeNs, NodeId>> recover_at;
+
+  /// Optional hook invoked after the cluster is built, before Start().
+  std::function<void(sim::Cluster&)> customize;
+};
+
+struct RunResult {
+  double throughput = 0;        ///< req/s in the measurement window.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t completed = 0;
+  uint64_t timeouts = 0;
+  uint64_t redirects = 0;
+
+  /// Per-second completion counts over the whole run (Fig. 13).
+  std::vector<uint64_t> timeline;
+
+  /// Messages handled (sent + received) per replica per committed
+  /// request, for Table 1/2 cross-checks. Index = replica id.
+  std::vector<double> msgs_per_request;
+
+  /// Simulated CPU utilization per replica over the measured window.
+  std::vector<double> cpu_utilization;
+
+  uint64_t cross_region_msgs = 0;  ///< §6.4 WAN traffic accounting.
+  uint64_t total_events = 0;       ///< Simulator events executed.
+
+  // Aggregated protocol counters (Paxos/PigPaxos runs; zero otherwise).
+  uint64_t elections_started = 0;
+  uint64_t propose_retries = 0;
+  uint64_t log_syncs = 0;
+  uint64_t relay_timeouts = 0;   ///< PigPaxos only.
+  uint64_t relay_early_batches = 0;
+};
+
+/// Builds the cluster, runs warmup + measurement, and collects results.
+RunResult RunExperiment(const ExperimentConfig& config);
+
+/// One point of a latency/throughput curve.
+struct LoadPoint {
+  size_t clients = 0;
+  double throughput = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Runs the experiment at each client count (the paper's offered-load
+/// sweep) and returns one point per count.
+std::vector<LoadPoint> LatencyThroughputSweep(
+    ExperimentConfig config, const std::vector<size_t>& client_counts);
+
+/// Doubles the client count until throughput stops improving by more than
+/// 5%, then returns the best observed throughput (paper's "maximum
+/// throughput" metric).
+double MaxThroughput(ExperimentConfig config, size_t start_clients = 32,
+                     size_t max_clients = 1024);
+
+/// Formats a latency/throughput table for console output.
+std::string FormatSweep(const std::string& title,
+                        const std::vector<LoadPoint>& points);
+
+}  // namespace pig::harness

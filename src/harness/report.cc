@@ -1,0 +1,60 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+namespace pig::harness {
+
+namespace {
+Status OpenForWrite(const std::string& path, const char* mode, FILE** out) {
+  FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path);
+  }
+  *out = f;
+  return Status::Ok();
+}
+}  // namespace
+
+Status WriteSweepCsv(const std::string& path, const std::string& series,
+                     const std::vector<LoadPoint>& points) {
+  FILE* f = nullptr;
+  Status s = OpenForWrite(path, "w", &f);
+  if (!s.ok()) return s;
+  std::fprintf(f, "series,clients,throughput_req_s,mean_ms,p50_ms,p99_ms\n");
+  for (const LoadPoint& p : points) {
+    std::fprintf(f, "%s,%zu,%.2f,%.4f,%.4f,%.4f\n", series.c_str(),
+                 p.clients, p.throughput, p.mean_ms, p.p50_ms, p.p99_ms);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Status WriteTimelineCsv(const std::string& path,
+                        const std::vector<uint64_t>& timeline) {
+  FILE* f = nullptr;
+  Status s = OpenForWrite(path, "w", &f);
+  if (!s.ok()) return s;
+  std::fprintf(f, "second,requests\n");
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    std::fprintf(f, "%zu,%llu\n", i,
+                 static_cast<unsigned long long>(timeline[i]));
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Status AppendScalarCsv(const std::string& path, const std::string& label,
+                       double value) {
+  struct stat st;
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  FILE* f = nullptr;
+  Status s = OpenForWrite(path, "a", &f);
+  if (!s.ok()) return s;
+  if (!exists) std::fprintf(f, "label,value\n");
+  std::fprintf(f, "%s,%.4f\n", label.c_str(), value);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace pig::harness

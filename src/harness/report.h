@@ -1,0 +1,28 @@
+// CSV report writers so bench results can be plotted directly
+// (gnuplot/pandas); every bench prints human tables and can additionally
+// dump machine-readable series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+
+namespace pig::harness {
+
+/// Writes a latency/throughput sweep as CSV with a header row:
+/// clients,throughput_req_s,mean_ms,p50_ms,p99_ms
+Status WriteSweepCsv(const std::string& path, const std::string& series,
+                     const std::vector<LoadPoint>& points);
+
+/// Writes a per-second throughput timeline as CSV: second,requests.
+Status WriteTimelineCsv(const std::string& path,
+                        const std::vector<uint64_t>& timeline);
+
+/// Appends one labeled scalar series row to a CSV (creating it with a
+/// header when absent): label,value.
+Status AppendScalarCsv(const std::string& path, const std::string& label,
+                       double value);
+
+}  // namespace pig::harness

@@ -1,0 +1,155 @@
+#include "log/replicated_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pig {
+
+std::optional<LogEntry>* ReplicatedLog::Slot(SlotId slot) {
+  if (slot < first_ || slot > last_slot()) return nullptr;
+  return &entries_[static_cast<size_t>(slot - first_)];
+}
+
+const std::optional<LogEntry>* ReplicatedLog::Slot(SlotId slot) const {
+  if (slot < first_ || slot > last_slot()) return nullptr;
+  return &entries_[static_cast<size_t>(slot - first_)];
+}
+
+void ReplicatedLog::EnsureCapacity(SlotId slot) {
+  assert(slot >= first_);
+  while (last_slot() < slot) entries_.emplace_back(std::nullopt);
+}
+
+Status ReplicatedLog::Accept(SlotId slot, const Ballot& ballot,
+                             const Command& cmd) {
+  if (slot < 0) return Status::InvalidArgument("negative slot");
+  if (slot < first_) {
+    // Already compacted; must have been executed => committed. Ignore.
+    return Status::Ok();
+  }
+  EnsureCapacity(slot);
+  std::optional<LogEntry>& e = *Slot(slot);
+  if (!e.has_value()) {
+    e = LogEntry{ballot, cmd, false, false};
+    return Status::Ok();
+  }
+  if (e->committed) {
+    // Re-accepting a committed slot is fine if the command matches.
+    if (!(e->command == cmd)) {
+      return Status::Aborted("accept would overwrite committed slot");
+    }
+    if (ballot > e->ballot) e->ballot = ballot;
+    return Status::Ok();
+  }
+  if (ballot >= e->ballot) {
+    e->ballot = ballot;
+    e->command = cmd;
+  }
+  return Status::Ok();
+}
+
+Status ReplicatedLog::Commit(SlotId slot) {
+  std::optional<LogEntry>* e = Slot(slot);
+  if (slot < first_) return Status::Ok();  // compacted => executed already
+  if (e == nullptr || !e->has_value()) {
+    return Status::NotFound("commit of unknown slot");
+  }
+  (*e)->committed = true;
+  return Status::Ok();
+}
+
+Status ReplicatedLog::CommitWithCommand(SlotId slot, const Ballot& ballot,
+                                        const Command& cmd) {
+  if (slot < 0) return Status::InvalidArgument("negative slot");
+  if (slot < first_) return Status::Ok();
+  EnsureCapacity(slot);
+  std::optional<LogEntry>& e = *Slot(slot);
+  if (e.has_value() && e->committed && !(e->command == cmd)) {
+    return Status::Aborted("conflicting commit for slot");
+  }
+  if (!e.has_value() || !e->committed) {
+    e = LogEntry{ballot, cmd, true, e.has_value() && e->executed};
+  }
+  return Status::Ok();
+}
+
+bool ReplicatedLog::Has(SlotId slot) const {
+  const std::optional<LogEntry>* e = Slot(slot);
+  return e != nullptr && e->has_value();
+}
+
+const LogEntry* ReplicatedLog::Get(SlotId slot) const {
+  const std::optional<LogEntry>* e = Slot(slot);
+  return (e != nullptr && e->has_value()) ? &e->value() : nullptr;
+}
+
+LogEntry* ReplicatedLog::GetMutable(SlotId slot) {
+  std::optional<LogEntry>* e = Slot(slot);
+  return (e != nullptr && e->has_value()) ? &e->value() : nullptr;
+}
+
+SlotId ReplicatedLog::ContiguousCommitIndex() const {
+  SlotId idx = executed_upto_;  // everything executed is committed
+  for (SlotId s = idx + 1; s <= last_slot(); ++s) {
+    const LogEntry* e = Get(s);
+    if (e == nullptr || !e->committed) break;
+    idx = s;
+  }
+  return idx;
+}
+
+std::optional<SlotId> ReplicatedLog::NextExecutable() const {
+  SlotId next = executed_upto_ + 1;
+  const LogEntry* e = Get(next);
+  if (e != nullptr && e->committed && !e->executed) return next;
+  return std::nullopt;
+}
+
+void ReplicatedLog::MarkExecuted(SlotId slot) {
+  LogEntry* e = GetMutable(slot);
+  assert(e != nullptr && e->committed);
+  assert(slot == executed_upto_ + 1 && "execution must be in order");
+  e->executed = true;
+  executed_upto_ = slot;
+}
+
+SlotId ReplicatedLog::NextEmptySlot() const {
+  for (SlotId s = first_; s <= last_slot(); ++s) {
+    if (!Has(s)) return s;
+  }
+  return last_slot() + 1;
+}
+
+Status ReplicatedLog::CompactUpTo(SlotId upto) {
+  if (upto > executed_upto_) {
+    return Status::InvalidArgument("cannot compact unexecuted slots");
+  }
+  while (first_ <= upto && !entries_.empty()) {
+    entries_.pop_front();
+    first_++;
+  }
+  return Status::Ok();
+}
+
+void ReplicatedLog::FastForwardTo(SlotId upto) {
+  if (upto <= executed_upto_) return;
+  while (first_ <= upto && !entries_.empty()) {
+    entries_.pop_front();
+    first_++;
+  }
+  first_ = std::max(first_, upto + 1);
+  executed_upto_ = upto;
+}
+
+std::vector<std::pair<SlotId, LogEntry>> ReplicatedLog::Range(
+    SlotId from, SlotId to) const {
+  std::vector<std::pair<SlotId, LogEntry>> out;
+  if (from < first_) from = first_;
+  for (SlotId s = from; s <= to && s <= last_slot(); ++s) {
+    const LogEntry* e = Get(s);
+    if (e != nullptr) out.emplace_back(s, *e);
+  }
+  return out;
+}
+
+}  // namespace pig

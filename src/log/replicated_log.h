@@ -1,0 +1,97 @@
+// The replicated command log shared by Paxos and PigPaxos replicas.
+//
+// Slots are dense integers starting at 0. Each slot moves through
+// accepted -> committed -> executed. The log tracks the commit index
+// (highest slot such that every slot at or below it is committed) and the
+// execute cursor, and supports truncating an executed prefix (compaction).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "consensus/ballot.h"
+#include "statemachine/command.h"
+
+namespace pig {
+
+/// One slot of the replicated log.
+struct LogEntry {
+  Ballot ballot;         ///< Ballot under which the command was accepted.
+  Command command;
+  bool committed = false;
+  bool executed = false;
+};
+
+/// In-memory log with a compactable prefix.
+class ReplicatedLog {
+ public:
+  /// Records `cmd` as accepted at `slot` under `ballot`, overwriting any
+  /// previous uncommitted value with a lower ballot. Returns Aborted if
+  /// the slot is already committed with a different command ballot (which
+  /// would indicate a safety violation upstream).
+  Status Accept(SlotId slot, const Ballot& ballot, const Command& cmd);
+
+  /// Marks `slot` committed. The entry must exist.
+  Status Commit(SlotId slot);
+
+  /// Marks a slot committed with an explicit command (used by catch-up
+  /// paths where the entry may be missing locally).
+  Status CommitWithCommand(SlotId slot, const Ballot& ballot,
+                           const Command& cmd);
+
+  bool Has(SlotId slot) const;
+  const LogEntry* Get(SlotId slot) const;
+  LogEntry* GetMutable(SlotId slot);
+
+  /// Highest slot S such that all slots in [first_slot, S] are committed;
+  /// kInvalidSlot when none.
+  SlotId ContiguousCommitIndex() const;
+
+  /// Next slot the executor should apply, if it is committed and
+  /// unexecuted. Marks nothing; caller applies then calls MarkExecuted.
+  std::optional<SlotId> NextExecutable() const;
+  void MarkExecuted(SlotId slot);
+
+  /// First slot that has never been accepted (append point for leaders).
+  SlotId NextEmptySlot() const;
+
+  /// Lowest slot still held (compaction boundary).
+  SlotId first_slot() const { return first_; }
+  /// Highest accepted slot, kInvalidSlot when log is empty.
+  SlotId last_slot() const {
+    return first_ + static_cast<SlotId>(entries_.size()) - 1;
+  }
+
+  SlotId executed_upto() const { return executed_upto_; }
+
+  /// Drops executed entries at or below `upto`. Entries must be executed.
+  Status CompactUpTo(SlotId upto);
+
+  /// Snapshot install: treats every slot at or below `upto` as committed
+  /// and executed (their effects arrive via a state-machine snapshot),
+  /// drops local entries at or below it, and keeps any entries above.
+  /// No-op when `upto` does not advance the executed cursor.
+  void FastForwardTo(SlotId upto);
+
+  /// All accepted entries in [from, to] present locally (for P1b payloads
+  /// and log-sync responses). Missing slots are skipped.
+  std::vector<std::pair<SlotId, LogEntry>> Range(SlotId from, SlotId to) const;
+
+  size_t size_in_memory() const { return entries_.size(); }
+
+ private:
+  // entries_[i] corresponds to slot first_ + i; nullopt = gap (never
+  // accepted locally).
+  std::deque<std::optional<LogEntry>> entries_;
+  SlotId first_ = 0;
+  SlotId executed_upto_ = kInvalidSlot;
+
+  std::optional<LogEntry>* Slot(SlotId slot);
+  const std::optional<LogEntry>* Slot(SlotId slot) const;
+  void EnsureCapacity(SlotId slot);
+};
+
+}  // namespace pig

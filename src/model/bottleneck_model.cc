@@ -1,0 +1,48 @@
+#include "model/bottleneck_model.h"
+
+#include <cassert>
+
+namespace pig::model {
+
+MessageLoad PigPaxosLoad(size_t n, size_t r) {
+  assert(n >= 2);
+  assert(r >= 1 && r <= n - 1);
+  MessageLoad load;
+  load.leader = 2.0 * static_cast<double>(r) + 2.0;
+  load.follower = 2.0 * static_cast<double>(n - r - 1) /
+                      static_cast<double>(n - 1) +
+                  2.0;
+  return load;
+}
+
+MessageLoad PaxosLoad(size_t n) {
+  assert(n >= 2);
+  MessageLoad load;
+  load.leader = 2.0 * static_cast<double>(n - 1) + 2.0;
+  load.follower = 2.0;
+  return load;
+}
+
+std::vector<TableRow> MessageLoadTable(size_t n,
+                                       const std::vector<size_t>& groups) {
+  std::vector<TableRow> rows;
+  for (size_t r : groups) {
+    TableRow row;
+    row.label = std::to_string(r);
+    row.relay_groups = r;
+    row.load = PigPaxosLoad(n, r);
+    rows.push_back(std::move(row));
+  }
+  TableRow paxos;
+  paxos.label = std::to_string(n - 1) + " (Paxos)";
+  paxos.relay_groups = n - 1;
+  paxos.load = PaxosLoad(n);
+  rows.push_back(std::move(paxos));
+  return rows;
+}
+
+double FollowerLoadLimit(size_t n) {
+  return 2.0 * static_cast<double>(n - 2) / static_cast<double>(n - 1) + 2.0;
+}
+
+}  // namespace pig::model

@@ -1,0 +1,49 @@
+// Analytical message-load model from the paper's §6.1 (formulas (1)-(3))
+// used to regenerate Tables 1 and 2 and to cross-check the simulator's
+// per-node message counters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pig::model {
+
+/// Message load per round (client request) in a PigPaxos deployment of
+/// `n` nodes with `r` relay groups.
+struct MessageLoad {
+  double leader = 0;    ///< M_l = 2r + 2 (formula 1).
+  double follower = 0;  ///< M_f = 2(N-r-1)/(N-1) + 2 (formula 3).
+
+  /// Leader overhead relative to the average follower, as a percentage
+  /// (the paper's "Leader Overhead" column).
+  double LeaderOverheadPercent() const {
+    return (leader / follower - 1.0) * 100.0;
+  }
+};
+
+/// PigPaxos load (formulas 1 and 3). Requires 1 <= r <= n-1.
+MessageLoad PigPaxosLoad(size_t n, size_t r);
+
+/// Classic Paxos: the leader exchanges 2(N-1) messages with followers
+/// plus the client round trip; followers handle 2.
+MessageLoad PaxosLoad(size_t n);
+
+/// One row of Table 1 / Table 2.
+struct TableRow {
+  std::string label;      ///< "2".."6" or "24 (Paxos)".
+  size_t relay_groups = 0;
+  MessageLoad load;
+};
+
+/// Regenerates the rows of Table 1 (n=25) / Table 2 (n=9) for the given
+/// relay-group counts; appends the Paxos row (r = n-1).
+std::vector<TableRow> MessageLoadTable(size_t n,
+                                       const std::vector<size_t>& groups);
+
+/// Asymptotic follower load for r=1 as N grows (paper §6.3: approaches 4,
+/// matching the minimum leader load — the leader always stays the
+/// bottleneck).
+double FollowerLoadLimit(size_t n);
+
+}  // namespace pig::model

@@ -1,0 +1,22 @@
+#include "net/latency.h"
+
+namespace pig::net {
+
+std::shared_ptr<RegionalLatency> MakeVaCaOrTopology() {
+  const TimeNs lan = 150 * kMicrosecond;
+  // One-way latencies ~ AWS inter-region RTT / 2:
+  //   us-east-1 (VA) <-> us-west-1 (CA): ~62 ms RTT
+  //   us-east-1 (VA) <-> us-west-2 (OR): ~72 ms RTT
+  //   us-west-1 (CA) <-> us-west-2 (OR): ~22 ms RTT
+  const TimeNs va_ca = 31 * kMillisecond;
+  const TimeNs va_or = 36 * kMillisecond;
+  const TimeNs ca_or = 11 * kMillisecond;
+  std::vector<std::vector<TimeNs>> m = {
+      {lan, va_ca, va_or},
+      {va_ca, lan, ca_or},
+      {va_or, ca_or, lan},
+  };
+  return std::make_shared<RegionalLatency>(std::move(m));
+}
+
+}  // namespace pig::net

@@ -1,0 +1,122 @@
+// Link latency models and cluster topologies.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pig::net {
+
+using pig::NodeId;
+using pig::Rng;
+using pig::TimeNs;
+
+/// Samples one-way delivery latency for a (from, to) pair.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  virtual TimeNs Sample(NodeId from, NodeId to, Rng& rng) const = 0;
+
+  /// Region of a node; non-regional models report region 0 for everyone.
+  virtual int RegionOf(NodeId node) const {
+    (void)node;
+    return 0;
+  }
+};
+
+/// Single-datacenter LAN: uniform latency in [base - jitter, base + jitter].
+class LanLatency : public LatencyModel {
+ public:
+  explicit LanLatency(TimeNs base = 150 * kMicrosecond,
+                      TimeNs jitter = 50 * kMicrosecond)
+      : base_(base), jitter_(jitter) {}
+
+  TimeNs Sample(NodeId, NodeId, Rng& rng) const override {
+    if (jitter_ == 0) return base_;
+    return base_ - jitter_ +
+           static_cast<TimeNs>(rng.NextBounded(
+               static_cast<uint64_t>(2 * jitter_ + 1)));
+  }
+
+ private:
+  TimeNs base_;
+  TimeNs jitter_;
+};
+
+/// Multi-region WAN: a symmetric matrix of one-way base latencies between
+/// regions plus uniform jitter. Nodes not explicitly assigned live in
+/// region `default_region`.
+class RegionalLatency : public LatencyModel {
+ public:
+  /// `matrix[i][j]` = one-way base latency between regions i and j.
+  RegionalLatency(std::vector<std::vector<TimeNs>> matrix,
+                  TimeNs jitter = 50 * kMicrosecond,
+                  int default_region = 0)
+      : matrix_(std::move(matrix)),
+        jitter_(jitter),
+        default_region_(default_region) {}
+
+  void AssignRegion(NodeId node, int region) { region_of_[node] = region; }
+
+  int RegionOf(NodeId node) const override {
+    auto it = region_of_.find(node);
+    return it == region_of_.end() ? default_region_ : it->second;
+  }
+
+  TimeNs Sample(NodeId from, NodeId to, Rng& rng) const override {
+    TimeNs base = matrix_[static_cast<size_t>(RegionOf(from))]
+                         [static_cast<size_t>(RegionOf(to))];
+    if (jitter_ == 0) return base;
+    return base - jitter_ +
+           static_cast<TimeNs>(rng.NextBounded(
+               static_cast<uint64_t>(2 * jitter_ + 1)));
+  }
+
+  size_t num_regions() const { return matrix_.size(); }
+
+ private:
+  std::vector<std::vector<TimeNs>> matrix_;
+  TimeNs jitter_;
+  int default_region_;
+  std::unordered_map<NodeId, int> region_of_;
+};
+
+/// Decorator that slows every link touching designated nodes — models
+/// sluggish followers (overloaded VM, bad NIC) for §4.2 experiments.
+class SluggishNodeLatency : public LatencyModel {
+ public:
+  SluggishNodeLatency(std::shared_ptr<LatencyModel> base, TimeNs extra)
+      : base_(std::move(base)), extra_(extra) {}
+
+  void MarkSluggish(NodeId node) { sluggish_.insert(node); }
+
+  TimeNs Sample(NodeId from, NodeId to, Rng& rng) const override {
+    TimeNs t = base_->Sample(from, to, rng);
+    if (sluggish_.count(from) || sluggish_.count(to)) t += extra_;
+    return t;
+  }
+
+  int RegionOf(NodeId node) const override { return base_->RegionOf(node); }
+
+ private:
+  std::shared_ptr<LatencyModel> base_;
+  TimeNs extra_;
+  std::set<NodeId> sluggish_;
+};
+
+/// Builds the 3-region topology of the paper's Fig. 9 (Virginia /
+/// California / Oregon), with intra-region LAN latency. One-way
+/// inter-region base latencies approximate AWS RTT/2.
+std::shared_ptr<RegionalLatency> MakeVaCaOrTopology();
+
+/// Region indices for MakeVaCaOrTopology.
+inline constexpr int kVirginia = 0;
+inline constexpr int kCalifornia = 1;
+inline constexpr int kOregon = 2;
+
+}  // namespace pig::net

@@ -1,0 +1,86 @@
+#include "net/network.h"
+
+namespace pig::net {
+
+Network::Network(NetworkOptions options, uint64_t seed)
+    : options_(std::move(options)), rng_(seed) {
+  if (!options_.latency) {
+    options_.latency = std::make_shared<LanLatency>();
+  }
+}
+
+int Network::PartitionGroupOf(NodeId node) const {
+  auto it = partition_group_.find(node);
+  return it == partition_group_.end() ? 0 : it->second;
+}
+
+std::optional<TimeNs> Network::Transfer(NodeId from, NodeId to,
+                                        size_t bytes) {
+  TrafficStats& s = stats_[from];
+  s.msgs_sent++;
+  s.bytes_sent += bytes;
+  const int rf = options_.latency->RegionOf(from);
+  const int rt = options_.latency->RegionOf(to);
+  if (rf != rt) {
+    cross_region_msgs_++;
+    cross_region_bytes_ += bytes;
+  }
+  if (PartitionGroupOf(from) != PartitionGroupOf(to) ||
+      links_down_.count({from, to}) > 0 ||
+      (options_.drop_probability > 0 &&
+       rng_.NextBool(options_.drop_probability))) {
+    dropped_++;
+    return std::nullopt;
+  }
+  return options_.latency->Sample(from, to, rng_);
+}
+
+void Network::RecordDelivery(NodeId to, size_t bytes) {
+  TrafficStats& s = stats_[to];
+  s.msgs_received++;
+  s.bytes_received += bytes;
+}
+
+void Network::SetPartitionGroup(NodeId node, int group) {
+  partition_group_[node] = group;
+}
+
+void Network::HealPartitions() { partition_group_.clear(); }
+
+void Network::SetLinkDown(NodeId from, NodeId to, bool down) {
+  if (down) {
+    links_down_.insert({from, to});
+  } else {
+    links_down_.erase({from, to});
+  }
+}
+
+bool Network::IsLinkDown(NodeId from, NodeId to) const {
+  return links_down_.count({from, to}) > 0;
+}
+
+const TrafficStats& Network::StatsFor(NodeId node) const {
+  static const TrafficStats kEmpty;
+  auto it = stats_.find(node);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+TrafficStats Network::TotalStats() const {
+  TrafficStats total;
+  for (const auto& [_, s] : stats_) {
+    total.msgs_sent += s.msgs_sent;
+    total.msgs_received += s.msgs_received;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+  }
+  return total;
+}
+
+void Network::ResetStats() {
+  stats_.clear();
+  cross_region_msgs_ = 0;
+  cross_region_bytes_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace pig::net

@@ -1,0 +1,79 @@
+// Simulated network fabric: message fate (drop / partition / link-down),
+// latency sampling, and per-node traffic accounting.
+//
+// The fabric itself is policy-only; the sim::Cluster asks it what happens
+// to each message and does the actual event scheduling.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/latency.h"
+
+namespace pig::net {
+
+struct NetworkOptions {
+  std::shared_ptr<LatencyModel> latency;  ///< Defaults to LanLatency.
+  double drop_probability = 0.0;          ///< Uniform i.i.d. message loss.
+};
+
+/// Per-node traffic counters (messages counted at the application layer:
+/// one protocol message = one count, regardless of size).
+struct TrafficStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkOptions options, uint64_t seed = 42);
+
+  /// Decides the fate of one message: nullopt if it is lost (random drop,
+  /// partition, downed link), otherwise its one-way latency. Records
+  /// sender-side stats either way (the sender did the work).
+  std::optional<TimeNs> Transfer(NodeId from, NodeId to, size_t bytes);
+
+  /// Records successful delivery (receiver-side stats).
+  void RecordDelivery(NodeId to, size_t bytes);
+
+  // --- Fault injection -----------------------------------------------
+  /// Places nodes into partition groups; traffic crosses only within the
+  /// same group. Unlisted nodes are in group 0.
+  void SetPartitionGroup(NodeId node, int group);
+  void HealPartitions();
+
+  /// Disables one directed link.
+  void SetLinkDown(NodeId from, NodeId to, bool down);
+  bool IsLinkDown(NodeId from, NodeId to) const;
+
+  void set_drop_probability(double p) { options_.drop_probability = p; }
+
+  // --- Introspection --------------------------------------------------
+  const TrafficStats& StatsFor(NodeId node) const;
+  TrafficStats TotalStats() const;
+  uint64_t cross_region_msgs() const { return cross_region_msgs_; }
+  uint64_t cross_region_bytes() const { return cross_region_bytes_; }
+  uint64_t dropped_msgs() const { return dropped_; }
+  const LatencyModel& latency_model() const { return *options_.latency; }
+  void ResetStats();
+
+ private:
+  int PartitionGroupOf(NodeId node) const;
+
+  NetworkOptions options_;
+  Rng rng_;
+  std::unordered_map<NodeId, TrafficStats> stats_;
+  std::unordered_map<NodeId, int> partition_group_;
+  std::set<std::pair<NodeId, NodeId>> links_down_;
+  uint64_t cross_region_msgs_ = 0;
+  uint64_t cross_region_bytes_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace pig::net

@@ -1,0 +1,227 @@
+#include "paxos/messages.h"
+
+#include <cstdio>
+
+#include "paxos/quorum_reads.h"
+
+namespace pig::paxos {
+
+namespace {
+void EncodeEntries(Encoder& enc, const std::vector<AcceptedEntry>& entries) {
+  enc.PutVarint(entries.size());
+  for (const AcceptedEntry& e : entries) e.Encode(enc);
+}
+
+Status DecodeEntries(Decoder& dec, std::vector<AcceptedEntry>* out) {
+  uint64_t n = 0;
+  Status s = dec.GetVarint(&n);
+  if (!s.ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("entry count too big");
+  out->resize(static_cast<size_t>(n));
+  for (auto& e : *out) {
+    if (!(s = AcceptedEntry::Decode(dec, &e)).ok()) return s;
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+void AcceptedEntry::Encode(Encoder& enc) const {
+  enc.PutI64(slot);
+  ballot.Encode(enc);
+  command.Encode(enc);
+  enc.PutBool(committed);
+}
+
+Status AcceptedEntry::Decode(Decoder& dec, AcceptedEntry* out) {
+  Status s;
+  if (!(s = dec.GetI64(&out->slot)).ok()) return s;
+  if (!(s = Ballot::Decode(dec, &out->ballot)).ok()) return s;
+  if (!(s = Command::Decode(dec, &out->command)).ok()) return s;
+  return dec.GetBool(&out->committed);
+}
+
+// --- P1a -------------------------------------------------------------
+
+void P1a::EncodeBody(Encoder& enc) const {
+  ballot.Encode(enc);
+  enc.PutI64(commit_index);
+}
+
+Status P1a::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<P1a>();
+  Status s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string P1a::DebugString() const {
+  return "P1a{b=" + ballot.ToString() + "}";
+}
+
+// --- P1b -------------------------------------------------------------
+
+void P1b::EncodeBody(Encoder& enc) const {
+  enc.PutU32(sender);
+  ballot.Encode(enc);
+  enc.PutBool(ok);
+  enc.PutI64(commit_index);
+  EncodeEntries(enc, entries);
+}
+
+Status P1b::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<P1b>();
+  Status s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetBool(&m->ok)).ok()) return s;
+  if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
+  if (!(s = DecodeEntries(dec, &m->entries)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string P1b::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "P1b{from=%u, b=%s, ok=%d, %zu entries}",
+                sender, ballot.ToString().c_str(), ok, entries.size());
+  return buf;
+}
+
+// --- P2a -------------------------------------------------------------
+
+void P2a::EncodeBody(Encoder& enc) const {
+  ballot.Encode(enc);
+  enc.PutI64(slot);
+  command.Encode(enc);
+  enc.PutI64(commit_index);
+}
+
+Status P2a::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<P2a>();
+  Status s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetI64(&m->slot)).ok()) return s;
+  if (!(s = Command::Decode(dec, &m->command)).ok()) return s;
+  if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string P2a::DebugString() const {
+  return "P2a{b=" + ballot.ToString() + ", slot=" + std::to_string(slot) +
+         ", " + command.DebugString() + "}";
+}
+
+// --- P2b -------------------------------------------------------------
+
+void P2b::EncodeBody(Encoder& enc) const {
+  enc.PutU32(sender);
+  ballot.Encode(enc);
+  enc.PutI64(slot);
+  enc.PutBool(ok);
+}
+
+Status P2b::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<P2b>();
+  Status s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetI64(&m->slot)).ok()) return s;
+  if (!(s = dec.GetBool(&m->ok)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string P2b::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "P2b{from=%u, slot=%lld, ok=%d}", sender,
+                static_cast<long long>(slot), ok);
+  return buf;
+}
+
+// --- P3 --------------------------------------------------------------
+
+void P3::EncodeBody(Encoder& enc) const {
+  ballot.Encode(enc);
+  enc.PutI64(commit_index);
+}
+
+Status P3::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<P3>();
+  Status s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string P3::DebugString() const {
+  return "P3{b=" + ballot.ToString() + ", ci=" + std::to_string(commit_index) +
+         "}";
+}
+
+// --- Log sync ---------------------------------------------------------
+
+void LogSyncRequest::EncodeBody(Encoder& enc) const {
+  enc.PutU32(sender);
+  enc.PutI64(from);
+  enc.PutI64(to);
+}
+
+Status LogSyncRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<LogSyncRequest>();
+  Status s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  if (!(s = dec.GetI64(&m->from)).ok()) return s;
+  if (!(s = dec.GetI64(&m->to)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void LogSyncResponse::EncodeBody(Encoder& enc) const {
+  ballot.Encode(enc);
+  enc.PutI64(commit_index);
+  EncodeEntries(enc, entries);
+  enc.PutI64(snapshot_upto);
+  enc.PutVarint(snapshot.size());
+  for (const auto& [k, v] : snapshot) {
+    enc.PutBytes(k);
+    enc.PutBytes(v);
+  }
+}
+
+Status LogSyncResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<LogSyncResponse>();
+  Status s;
+  if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
+  if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
+  if (!(s = DecodeEntries(dec, &m->entries)).ok()) return s;
+  if (!(s = dec.GetI64(&m->snapshot_upto)).ok()) return s;
+  uint64_t n = 0;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("snapshot too big");
+  m->snapshot.resize(static_cast<size_t>(n));
+  for (auto& [k, v] : m->snapshot) {
+    if (!(s = dec.GetBytes(&k)).ok()) return s;
+    if (!(s = dec.GetBytes(&v)).ok()) return s;
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void RegisterPaxosMessages() {
+  RegisterQuorumReadMessages();
+  RegisterMessageDecoder(MsgType::kP1a, &P1a::DecodeBody);
+  RegisterMessageDecoder(MsgType::kP1b, &P1b::DecodeBody);
+  RegisterMessageDecoder(MsgType::kP2a, &P2a::DecodeBody);
+  RegisterMessageDecoder(MsgType::kP2b, &P2b::DecodeBody);
+  RegisterMessageDecoder(MsgType::kP3, &P3::DecodeBody);
+  RegisterMessageDecoder(MsgType::kLogSyncRequest,
+                         &LogSyncRequest::DecodeBody);
+  RegisterMessageDecoder(MsgType::kLogSyncResponse,
+                         &LogSyncResponse::DecodeBody);
+}
+
+}  // namespace pig::paxos

@@ -1,0 +1,138 @@
+// Multi-Paxos wire messages (phases 1-3 plus log catch-up).
+//
+// Fan-in messages (P1b, P2b) carry an explicit `sender` because PigPaxos
+// relays aggregate several of them into one envelope, hiding the transport
+// sender.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consensus/ballot.h"
+#include "consensus/message.h"
+#include "statemachine/command.h"
+
+namespace pig::paxos {
+
+using pig::Ballot;
+using pig::Command;
+using pig::Decoder;
+using pig::Encoder;
+using pig::Message;
+using pig::MessagePtr;
+using pig::MsgType;
+using pig::NodeId;
+using pig::SlotId;
+using pig::Status;
+
+/// One accepted log slot, shipped in P1b and log-sync payloads.
+struct AcceptedEntry {
+  SlotId slot = kInvalidSlot;
+  Ballot ballot;
+  Command command;
+  bool committed = false;
+
+  void Encode(Encoder& enc) const;
+  static Status Decode(Decoder& dec, AcceptedEntry* out);
+};
+
+/// Phase-1a: candidate asks to lead with `ballot`. `commit_index` tells
+/// followers which log prefix the candidate already knows committed, so
+/// P1b replies only ship entries above it.
+struct P1a final : Message {
+  Ballot ballot;
+  SlotId commit_index = kInvalidSlot;
+
+  MsgType type() const override { return MsgType::kP1a; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Phase-1b: follower's promise (ok) or rejection carrying the higher
+/// ballot it has promised.
+struct P1b final : Message {
+  NodeId sender = kInvalidNode;
+  Ballot ballot;       ///< Ballot being answered (ok) or the higher one.
+  bool ok = false;
+  SlotId commit_index = kInvalidSlot;   ///< Follower's own commit index.
+  std::vector<AcceptedEntry> entries;   ///< Accepted slots above the
+                                        ///< candidate's commit index.
+
+  MsgType type() const override { return MsgType::kP1b; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Phase-2a: leader proposes `command` at `slot`. Phase-3 commit info is
+/// piggybacked as `commit_index` (Multi-Paxos optimization, Fig. 2).
+struct P2a final : Message {
+  Ballot ballot;
+  SlotId slot = kInvalidSlot;
+  Command command;
+  SlotId commit_index = kInvalidSlot;
+
+  MsgType type() const override { return MsgType::kP2a; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Phase-2b: follower accepted (ok) or rejects with its promised ballot.
+struct P2b final : Message {
+  NodeId sender = kInvalidNode;
+  Ballot ballot;
+  SlotId slot = kInvalidSlot;
+  bool ok = false;
+
+  MsgType type() const override { return MsgType::kP2b; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Phase-3: standalone commit notification (normally piggybacked).
+struct P3 final : Message {
+  Ballot ballot;
+  SlotId commit_index = kInvalidSlot;
+
+  MsgType type() const override { return MsgType::kP3; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Follower asks the leader for missing committed slots [from, to].
+struct LogSyncRequest final : Message {
+  NodeId sender = kInvalidNode;
+  SlotId from = kInvalidSlot;
+  SlotId to = kInvalidSlot;
+
+  MsgType type() const override { return MsgType::kLogSyncRequest; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+};
+
+/// Leader's catch-up payload of committed entries. When the follower is
+/// so far behind that the requested slots were already compacted, the
+/// response carries a state-machine snapshot (`snapshot_upto` >= 0): the
+/// KV contents as of that slot, plus committed entries above it.
+struct LogSyncResponse final : Message {
+  Ballot ballot;
+  SlotId commit_index = kInvalidSlot;
+  std::vector<AcceptedEntry> entries;
+  SlotId snapshot_upto = kInvalidSlot;  ///< kInvalidSlot = no snapshot.
+  std::vector<std::pair<std::string, std::string>> snapshot;
+
+  bool has_snapshot() const { return snapshot_upto != kInvalidSlot; }
+
+  MsgType type() const override { return MsgType::kLogSyncResponse; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+};
+
+/// Registers decoders for all Paxos message types.
+void RegisterPaxosMessages();
+
+}  // namespace pig::paxos

@@ -1,0 +1,30 @@
+#include "paxos/quorum_reads.h"
+
+namespace pig::paxos {
+
+void RegisterQuorumReadMessages() {
+  RegisterMessageDecoder(MsgType::kQuorumReadRequest,
+                         &QuorumReadRequest::DecodeBody);
+  RegisterMessageDecoder(MsgType::kQuorumReadReply,
+                         &QuorumReadReply::DecodeBody);
+}
+
+bool QuorumReadCoordinator::OnReply(const QuorumReadReply& reply) {
+  if (done_ || reply.read_id != read_id_) return false;
+  if (seen_.count(reply.sender)) return false;
+  seen_[reply.sender] = true;
+  replies_++;
+  if (reply.pending_write) needs_rinse_ = true;
+  if (reply.version_slot > best_slot_ ||
+      (best_slot_ == kInvalidSlot && value_.empty())) {
+    best_slot_ = reply.version_slot;
+    value_ = reply.value;
+  }
+  if (replies_ >= quorum_ && !needs_rinse_) {
+    done_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pig::paxos

@@ -1,0 +1,103 @@
+// Paxos Quorum Reads (PQR) extension — paper §4.3.
+//
+// Serializing reads through the log costs a full consensus round. PQR
+// (Charapko et al., HotStorage'19) lets a client read strongly-
+// consistently from a majority of replicas without involving the leader:
+// each replica reports its executed value for the key plus whether a
+// write to that key is accepted-but-not-yet-executed locally. The client
+// takes the freshest value; if any quorum member reports a pending write,
+// the read "rinses" (retries) until the write lands. The paper notes the
+// PQR communication pattern can itself be relayed through PigPaxos
+// groups; here clients contact the quorum directly.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "consensus/env.h"
+#include "consensus/message.h"
+
+namespace pig::paxos {
+
+/// Client -> replica: read `key` directly from the replica state.
+struct QuorumReadRequest final : Message {
+  std::string key;
+  uint64_t read_id = 0;  ///< Client-chosen id for reply matching.
+
+  MsgType type() const override { return MsgType::kQuorumReadRequest; }
+  void EncodeBody(Encoder& enc) const override {
+    enc.PutBytes(key);
+    enc.PutU64(read_id);
+  }
+  static Status DecodeBody(Decoder& dec, MessagePtr* out) {
+    auto m = std::make_shared<QuorumReadRequest>();
+    Status s = dec.GetBytes(&m->key);
+    if (!s.ok()) return s;
+    if (!(s = dec.GetU64(&m->read_id)).ok()) return s;
+    *out = std::move(m);
+    return Status::Ok();
+  }
+};
+
+/// Replica -> client: local executed state for the key.
+struct QuorumReadReply final : Message {
+  NodeId sender = kInvalidNode;
+  uint64_t read_id = 0;
+  std::string value;
+  /// Slot of the last executed write to this key (kInvalidSlot = never
+  /// written). Higher slot = fresher value.
+  SlotId version_slot = kInvalidSlot;
+  /// True when a write to the key is accepted locally above the executed
+  /// prefix: the value may be about to change, so the client must rinse.
+  bool pending_write = false;
+
+  MsgType type() const override { return MsgType::kQuorumReadReply; }
+  void EncodeBody(Encoder& enc) const override {
+    enc.PutU32(sender);
+    enc.PutU64(read_id);
+    enc.PutBytes(value);
+    enc.PutI64(version_slot);
+    enc.PutBool(pending_write);
+  }
+  static Status DecodeBody(Decoder& dec, MessagePtr* out) {
+    auto m = std::make_shared<QuorumReadReply>();
+    Status s = dec.GetU32(&m->sender);
+    if (!s.ok()) return s;
+    if (!(s = dec.GetU64(&m->read_id)).ok()) return s;
+    if (!(s = dec.GetBytes(&m->value)).ok()) return s;
+    if (!(s = dec.GetI64(&m->version_slot)).ok()) return s;
+    if (!(s = dec.GetBool(&m->pending_write)).ok()) return s;
+    *out = std::move(m);
+    return Status::Ok();
+  }
+};
+
+void RegisterQuorumReadMessages();
+
+/// Client-side state machine for one quorum read. Feed replies in; it
+/// reports completion once a majority agrees with no pending writes.
+class QuorumReadCoordinator {
+ public:
+  QuorumReadCoordinator(size_t num_replicas, uint64_t read_id)
+      : quorum_(num_replicas / 2 + 1), read_id_(read_id) {}
+
+  /// Returns true when the read just completed.
+  bool OnReply(const QuorumReadReply& reply);
+
+  bool done() const { return done_; }
+  bool needs_rinse() const { return needs_rinse_; }
+  const std::string& value() const { return value_; }
+  uint64_t read_id() const { return read_id_; }
+
+ private:
+  size_t quorum_;
+  uint64_t read_id_;
+  size_t replies_ = 0;
+  bool needs_rinse_ = false;
+  bool done_ = false;
+  SlotId best_slot_ = kInvalidSlot;
+  std::string value_;
+  std::unordered_map<NodeId, bool> seen_;
+};
+
+}  // namespace pig::paxos

@@ -1,0 +1,620 @@
+#include "paxos/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace pig::paxos {
+
+PaxosReplica::PaxosReplica(NodeId id, PaxosOptions options)
+    : id_(id), options_(std::move(options)) {
+  assert(options_.num_replicas > 0);
+  assert(id_ < options_.num_replicas);
+  if (!options_.quorum) {
+    options_.quorum =
+        std::make_shared<pig::MajorityQuorum>(options_.num_replicas);
+  }
+  assert(options_.quorum->Validate().ok());
+  peers_.reserve(options_.num_replicas - 1);
+  for (NodeId n = 0; n < options_.num_replicas; ++n) {
+    if (n != id_) peers_.push_back(n);
+  }
+}
+
+PaxosReplica::~PaxosReplica() = default;
+
+void PaxosReplica::OnStart() {
+  // Initial start and post-crash recovery both land here. Demote to
+  // follower; a live leader's heartbeat will keep us passive, otherwise
+  // the election timer (or the bootstrap shortcut) takes over.
+  role_ = Role::kFollower;
+  pending_.clear();
+  p1_tally_.reset();
+  last_leader_contact_ = env_->Now();
+  ArmElectionTimer();
+  if (id_ == options_.bootstrap_leader && promised_.IsZero()) {
+    StartElection();
+  }
+}
+
+NodeId PaxosReplica::KnownLeader() const {
+  if (role_ == Role::kLeader) return id_;
+  return leader_hint_;
+}
+
+void PaxosReplica::TriggerElection() { StartElection(); }
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+void PaxosReplica::OnMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kClientRequest:
+      HandleClientRequest(from,
+                          static_cast<const ClientRequest&>(*msg));
+      return;
+    case MsgType::kP1a:
+    case MsgType::kP2a:
+    case MsgType::kP3:
+    case MsgType::kHeartbeat: {
+      MessagePtr resp = HandleFanOutMessage(*msg);
+      if (resp != nullptr) env_->Send(from, std::move(resp));
+      return;
+    }
+    case MsgType::kP1b:
+    case MsgType::kP2b:
+      HandleResponse(*msg);
+      return;
+    case MsgType::kLogSyncRequest:
+      HandleLogSyncRequest(from, static_cast<const LogSyncRequest&>(*msg));
+      return;
+    case MsgType::kLogSyncResponse:
+      HandleLogSyncResponse(static_cast<const LogSyncResponse&>(*msg));
+      return;
+    case MsgType::kQuorumReadRequest:
+      HandleQuorumRead(from, static_cast<const QuorumReadRequest&>(*msg));
+      return;
+    default:
+      PIG_LOG(kWarn) << "replica " << id_ << ": unexpected message "
+                     << msg->DebugString();
+  }
+}
+
+MessagePtr PaxosReplica::HandleFanOutMessage(const Message& msg) {
+  switch (msg.type()) {
+    case MsgType::kP1a:
+      return HandleP1a(static_cast<const P1a&>(msg));
+    case MsgType::kP2a:
+      return HandleP2a(static_cast<const P2a&>(msg));
+    case MsgType::kP3:
+      return HandleP3(static_cast<const P3&>(msg));
+    case MsgType::kHeartbeat:
+      return HandleHeartbeat(static_cast<const Heartbeat&>(msg));
+    default:
+      return nullptr;
+  }
+}
+
+void PaxosReplica::HandleResponse(const Message& msg) {
+  switch (msg.type()) {
+    case MsgType::kP1b:
+      HandleP1b(static_cast<const P1b&>(msg));
+      return;
+    case MsgType::kP2b:
+      HandleP2b(static_cast<const P2b&>(msg));
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communication layer (direct Paxos; PigPaxos overrides FanOut)
+
+void PaxosReplica::FanOut(MessagePtr msg, bool expects_response) {
+  (void)expects_response;
+  for (NodeId peer : peers_) env_->Send(peer, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Follower side
+
+void PaxosReplica::NoteLeaderContact(const Ballot& ballot) {
+  last_leader_contact_ = env_->Now();
+  if (ballot.node != id_) leader_hint_ = ballot.node;
+}
+
+MessagePtr PaxosReplica::HandleP1a(const P1a& msg) {
+  auto resp = std::make_shared<P1b>();
+  resp->sender = id_;
+  if (msg.ballot >= promised_) {
+    if (msg.ballot > promised_ && role_ != Role::kFollower) {
+      StepDown(msg.ballot);
+    }
+    promised_ = msg.ballot;
+    NoteLeaderContact(msg.ballot);
+    resp->ballot = msg.ballot;
+    resp->ok = true;
+    resp->commit_index = CommitIndex();
+    for (auto& [slot, entry] : log_.Range(msg.commit_index + 1,
+                                          log_.last_slot())) {
+      resp->entries.push_back(
+          AcceptedEntry{slot, entry.ballot, entry.command, entry.committed});
+    }
+  } else {
+    resp->ballot = promised_;
+    resp->ok = false;
+  }
+  return resp;
+}
+
+MessagePtr PaxosReplica::HandleP2a(const P2a& msg) {
+  auto resp = std::make_shared<P2b>();
+  resp->sender = id_;
+  resp->slot = msg.slot;
+  if (msg.ballot >= promised_) {
+    if (msg.ballot > promised_ && role_ != Role::kFollower) {
+      StepDown(msg.ballot);
+    }
+    promised_ = msg.ballot;
+    NoteLeaderContact(msg.ballot);
+    if (msg.command.IsWrite()) {
+      SlotId& mark = key_accept_watermark_[msg.command.key];
+      mark = std::max(mark, msg.slot);
+    }
+    Status s = log_.Accept(msg.slot, msg.ballot, msg.command);
+    if (!s.ok()) {
+      PIG_LOG(kError) << "replica " << id_ << ": accept failed: "
+                      << s.ToString();
+    }
+    AdvanceCommit(msg.commit_index, msg.ballot);
+    ExecuteReady();
+    resp->ballot = msg.ballot;
+    resp->ok = true;
+  } else {
+    resp->ballot = promised_;
+    resp->ok = false;
+  }
+  return resp;
+}
+
+MessagePtr PaxosReplica::HandleP3(const P3& msg) {
+  if (msg.ballot < promised_) return nullptr;
+  promised_ = msg.ballot;
+  NoteLeaderContact(msg.ballot);
+  AdvanceCommit(msg.commit_index, msg.ballot);
+  ExecuteReady();
+  return nullptr;
+}
+
+MessagePtr PaxosReplica::HandleHeartbeat(const Heartbeat& msg) {
+  if (msg.ballot < promised_) {
+    // Tell the stale leader about the newer ballot so it steps down.
+    auto nack = std::make_shared<P1b>();
+    nack->sender = id_;
+    nack->ballot = promised_;
+    nack->ok = false;
+    return nack;
+  }
+  if (msg.ballot > promised_ && role_ != Role::kFollower) {
+    StepDown(msg.ballot);
+  }
+  promised_ = msg.ballot;
+  NoteLeaderContact(msg.ballot);
+  AdvanceCommit(msg.commit_index, msg.ballot);
+  ExecuteReady();
+  return nullptr;
+}
+
+void PaxosReplica::AdvanceCommit(SlotId upto, const Ballot& leader_ballot) {
+  if (upto == kInvalidSlot) return;
+  for (SlotId s = CommitIndex() + 1; s <= upto; ++s) {
+    const LogEntry* e = log_.Get(s);
+    if (e == nullptr || (!e->committed && e->ballot != leader_ballot)) {
+      // Gap or possibly-stale entry: ask the leader for the real values.
+      MaybeRequestSync(upto);
+      return;
+    }
+    if (!e->committed) log_.Commit(s);
+  }
+}
+
+void PaxosReplica::MaybeRequestSync(SlotId target_ci) {
+  NodeId leader = KnownLeader();
+  if (leader == kInvalidNode || leader == id_) return;
+  TimeNs now = env_->Now();
+  // Hard rate limit: at most one outstanding sync per retry period, no
+  // matter how far the target advances meanwhile — a lagging follower
+  // must not turn the leader into a log-shipping hotspot.
+  if (now - last_sync_request_ < options_.sync_retry_timeout) return;
+  auto req = std::make_shared<LogSyncRequest>();
+  req->sender = id_;
+  req->from = CommitIndex() + 1;
+  req->to = target_ci;
+  env_->Send(leader, std::move(req));
+  sync_requested_upto_ = target_ci;
+  last_sync_request_ = now;
+}
+
+void PaxosReplica::HandleLogSyncRequest(NodeId from,
+                                        const LogSyncRequest& req) {
+  metrics_.log_syncs++;
+  auto resp = std::make_shared<LogSyncResponse>();
+  resp->ballot = promised_;
+  resp->commit_index = CommitIndex();
+  SlotId start = req.from;
+  if (start < log_.first_slot()) {
+    // The requested history was compacted: install a state-machine
+    // snapshot as of our executed prefix, then ship entries above it.
+    resp->snapshot_upto = log_.executed_upto();
+    for (auto& [k, v] : store_.Dump()) resp->snapshot.emplace_back(k, v);
+    start = resp->snapshot_upto + 1;
+  }
+  // Bound one response; the follower re-requests the remainder.
+  constexpr size_t kMaxEntriesPerSync = 4096;
+  for (auto& [slot, entry] : log_.Range(start, req.to)) {
+    if (!entry.committed) continue;
+    resp->entries.push_back(
+        AcceptedEntry{slot, entry.ballot, entry.command, true});
+    if (resp->entries.size() >= kMaxEntriesPerSync) break;
+  }
+  env_->Send(from, std::move(resp));
+}
+
+void PaxosReplica::HandleLogSyncResponse(const LogSyncResponse& resp) {
+  if (resp.has_snapshot() && resp.snapshot_upto > log_.executed_upto()) {
+    store_.Restore(resp.snapshot);
+    log_.FastForwardTo(resp.snapshot_upto);
+    PIG_LOG(kInfo) << "replica " << id_ << ": installed snapshot upto slot "
+                   << resp.snapshot_upto;
+  }
+  for (const AcceptedEntry& e : resp.entries) {
+    if (!e.committed) continue;
+    Status s = log_.CommitWithCommand(e.slot, e.ballot, e.command);
+    if (!s.ok()) {
+      PIG_LOG(kError) << "replica " << id_
+                      << ": sync commit failed: " << s.ToString();
+    }
+  }
+  // Allow an immediate follow-up request for the remainder.
+  sync_requested_upto_ = kInvalidSlot;
+  last_sync_request_ = 0;
+  ExecuteReady();
+}
+
+void PaxosReplica::HandleQuorumRead(NodeId from,
+                                    const QuorumReadRequest& req) {
+  auto reply = std::make_shared<QuorumReadReply>();
+  reply->sender = id_;
+  reply->read_id = req.read_id;
+  reply->value = store_.Get(req.key);
+  auto exec = key_exec_slot_.find(req.key);
+  reply->version_slot =
+      exec == key_exec_slot_.end() ? kInvalidSlot : exec->second;
+  auto mark = key_accept_watermark_.find(req.key);
+  reply->pending_write = mark != key_accept_watermark_.end() &&
+                         mark->second > log_.executed_upto();
+  env_->Send(from, std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Elections
+
+void PaxosReplica::StartElection() {
+  role_ = Role::kCandidate;
+  promised_ = Ballot(promised_.counter + 1, id_);
+  metrics_.elections_started++;
+  p1_tally_ =
+      std::make_unique<VoteTally>(options_.quorum->Phase1Size());
+  p1_adopted_.clear();
+  p1_max_slot_ = log_.last_slot();
+  p1_tally_->Ack(id_);
+  PIG_LOG(kInfo) << "replica " << id_ << ": starting election, ballot "
+                 << promised_.ToString();
+  if (p1_tally_->Passed()) {
+    BecomeLeader();
+  } else {
+    auto p1a = std::make_shared<P1a>();
+    p1a->ballot = promised_;
+    p1a->commit_index = CommitIndex();
+    FanOut(std::move(p1a), /*expects_response=*/true);
+  }
+  ArmElectionTimer();  // retry with a higher ballot if this stalls
+}
+
+void PaxosReplica::HandleP1b(const P1b& msg) {
+  env_->ChargeCpu(options_.vote_process_cost);
+  if (!msg.ok) {
+    if (msg.ballot > promised_) StepDown(msg.ballot);
+    return;
+  }
+  if (role_ != Role::kCandidate || msg.ballot != promised_) return;
+  for (const AcceptedEntry& e : msg.entries) {
+    p1_max_slot_ = std::max(p1_max_slot_, e.slot);
+    auto [it, inserted] = p1_adopted_.emplace(e.slot, e);
+    if (!inserted) {
+      AcceptedEntry& cur = it->second;
+      if (e.committed || (!cur.committed && e.ballot > cur.ballot)) {
+        cur = e;
+      }
+    }
+  }
+  if (p1_tally_->Ack(msg.sender)) BecomeLeader();
+}
+
+void PaxosReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  leader_hint_ = id_;
+  metrics_.elections_won++;
+  pending_.clear();
+  client_pending_.clear();
+  PIG_LOG(kInfo) << "replica " << id_ << ": became leader, ballot "
+                 << promised_.ToString();
+
+  // Adopt the highest-ballot value for every open slot and re-propose it
+  // under our ballot; plug gaps with no-ops.
+  const SlotId from = CommitIndex() + 1;
+  const SlotId to = std::max(p1_max_slot_, log_.last_slot());
+  for (SlotId s = from; s <= to; ++s) {
+    const LogEntry* local = log_.Get(s);
+    bool have = local != nullptr;
+    bool committed = have && local->committed;
+    Ballot ballot = have ? local->ballot : Ballot::Zero();
+    Command cmd = have ? local->command : Command::Noop();
+    auto it = p1_adopted_.find(s);
+    if (it != p1_adopted_.end()) {
+      const AcceptedEntry& a = it->second;
+      if (!have || a.committed || (!committed && a.ballot > ballot)) {
+        cmd = a.command;
+        committed = committed || a.committed;
+        have = true;
+      }
+    }
+    if (committed) {
+      log_.CommitWithCommand(s, promised_, cmd);
+      continue;
+    }
+    ProposeAt(s, cmd);
+  }
+  next_slot_ = std::max(next_slot_, to + 1);
+  p1_adopted_.clear();
+  p1_tally_.reset();
+  ExecuteReady();
+
+  if (election_timer_ != kInvalidTimer) {
+    env_->CancelTimer(election_timer_);
+    election_timer_ = kInvalidTimer;
+  }
+  ArmHeartbeatTimer();
+  ArmRetryTimer();
+  // Announce leadership immediately so follower election timers reset.
+  auto hb = std::make_shared<Heartbeat>();
+  hb->ballot = promised_;
+  hb->commit_index = CommitIndex();
+  FanOut(std::move(hb), /*expects_response=*/false);
+}
+
+void PaxosReplica::StepDown(const Ballot& higher) {
+  assert(higher > promised_ || role_ != Role::kFollower);
+  PIG_LOG(kInfo) << "replica " << id_ << ": stepping down to ballot "
+                 << higher.ToString();
+  promised_ = std::max(promised_, higher);
+  role_ = Role::kFollower;
+  leader_hint_ = higher.node == id_ ? kInvalidNode : higher.node;
+  pending_.clear();
+  client_pending_.clear();
+  p1_tally_.reset();
+  p1_adopted_.clear();
+  if (heartbeat_timer_ != kInvalidTimer) {
+    env_->CancelTimer(heartbeat_timer_);
+    heartbeat_timer_ = kInvalidTimer;
+  }
+  if (retry_timer_ != kInvalidTimer) {
+    env_->CancelTimer(retry_timer_);
+    retry_timer_ = kInvalidTimer;
+  }
+  last_leader_contact_ = env_->Now();
+  ArmElectionTimer();
+}
+
+// ---------------------------------------------------------------------------
+// Leader side
+
+void PaxosReplica::HandleClientRequest(NodeId from,
+                                       const ClientRequest& req) {
+  if (role_ != Role::kLeader) {
+    metrics_.redirects++;
+    ReplyToClient(from, req.cmd.seq, StatusCode::kNotLeader, "",
+                  kInvalidSlot);
+    return;
+  }
+  Propose(req.cmd, from);
+}
+
+void PaxosReplica::Propose(const Command& cmd, NodeId client) {
+  // Dedup: already executed?
+  auto rec = client_records_.find(client);
+  if (rec != client_records_.end() && cmd.seq <= rec->second.seq) {
+    const ClientRecord& r = rec->second;
+    ReplyToClient(client, cmd.seq, StatusCode::kOk,
+                  cmd.seq == r.seq ? r.value : "", r.slot);
+    return;
+  }
+  // Dedup: already in flight?
+  auto pend = client_pending_.find(client);
+  if (pend != client_pending_.end() && pend->second == cmd.seq) return;
+  client_pending_[client] = cmd.seq;
+
+  metrics_.proposals++;
+  ProposeAt(next_slot_++, cmd);
+}
+
+void PaxosReplica::ProposeAt(SlotId slot, const Command& cmd) {
+  if (cmd.IsWrite()) {
+    SlotId& mark = key_accept_watermark_[cmd.key];
+    mark = std::max(mark, slot);
+  }
+  Status s = log_.Accept(slot, promised_, cmd);
+  if (!s.ok()) {
+    PIG_LOG(kError) << "replica " << id_ << ": self-accept failed: "
+                    << s.ToString();
+    return;
+  }
+  Pending p;
+  p.tally = std::make_unique<VoteTally>(options_.quorum->Phase2Size());
+  p.proposed_at = env_->Now();
+  p.tally->Ack(id_);
+  bool instant = p.tally->Passed();  // single-node cluster
+  pending_.emplace(slot, std::move(p));
+
+  auto p2a = std::make_shared<P2a>();
+  p2a->ballot = promised_;
+  p2a->slot = slot;
+  p2a->command = cmd;
+  p2a->commit_index = CommitIndex();
+  FanOut(std::move(p2a), /*expects_response=*/true);
+
+  if (instant) CommitSlot(slot);
+}
+
+void PaxosReplica::HandleP2b(const P2b& msg) {
+  env_->ChargeCpu(options_.vote_process_cost);
+  if (!msg.ok) {
+    if (msg.ballot > promised_) StepDown(msg.ballot);
+    return;
+  }
+  if (role_ != Role::kLeader || msg.ballot != promised_) return;
+  auto it = pending_.find(msg.slot);
+  if (it == pending_.end()) return;  // already committed or superseded
+  if (it->second.tally->Ack(msg.sender)) CommitSlot(msg.slot);
+}
+
+void PaxosReplica::CommitSlot(SlotId slot) {
+  pending_.erase(slot);
+  Status s = log_.Commit(slot);
+  if (!s.ok()) {
+    PIG_LOG(kError) << "replica " << id_ << ": commit failed: "
+                    << s.ToString();
+    return;
+  }
+  metrics_.commits++;
+  ExecuteReady();
+}
+
+void PaxosReplica::ExecuteReady() {
+  while (auto slot = log_.NextExecutable()) {
+    const LogEntry* e = log_.Get(*slot);
+    std::string value = store_.Apply(e->command);
+    metrics_.executions++;
+    const Command& cmd = e->command;
+    if (cmd.IsWrite()) key_exec_slot_[cmd.key] = *slot;
+    if (!cmd.IsNoop() && cmd.client != kInvalidNode) {
+      ClientRecord& rec = client_records_[cmd.client];
+      if (cmd.seq > rec.seq) {
+        rec.seq = cmd.seq;
+        rec.value = value;
+        rec.slot = *slot;
+      }
+      auto pend = client_pending_.find(cmd.client);
+      if (pend != client_pending_.end() && pend->second <= cmd.seq) {
+        client_pending_.erase(pend);
+      }
+      if (role_ == Role::kLeader) {
+        ReplyToClient(cmd.client, cmd.seq, StatusCode::kOk, std::move(value),
+                      *slot);
+      }
+    }
+    log_.MarkExecuted(*slot);
+  }
+  // Compaction: keep a bounded window of executed history.
+  const SlotId executed = log_.executed_upto();
+  const auto window = static_cast<SlotId>(options_.compaction_window);
+  if (executed - log_.first_slot() > 2 * window) {
+    log_.CompactUpTo(executed - window);
+  }
+}
+
+void PaxosReplica::ReplyToClient(NodeId client, uint64_t seq,
+                                 StatusCode code, std::string value,
+                                 SlotId slot) {
+  auto reply = std::make_shared<ClientReply>();
+  reply->seq = seq;
+  reply->code = code;
+  reply->value = std::move(value);
+  reply->leader_hint = KnownLeader();
+  reply->slot = slot;
+  env_->Send(client, std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+void PaxosReplica::ArmElectionTimer() {
+  if (election_timer_ != kInvalidTimer) env_->CancelTimer(election_timer_);
+  const TimeNs lo = options_.election_timeout_min;
+  const TimeNs hi = options_.election_timeout_max;
+  election_draw_ = lo + static_cast<TimeNs>(env_->rng().NextBounded(
+                            static_cast<uint64_t>(hi - lo + 1)));
+  election_timer_ =
+      env_->SetTimer(election_draw_, [this]() { OnElectionTimeout(); });
+}
+
+void PaxosReplica::OnElectionTimeout() {
+  election_timer_ = kInvalidTimer;
+  if (role_ == Role::kLeader) return;
+  const TimeNs idle = env_->Now() - last_leader_contact_;
+  if (role_ == Role::kFollower && idle < election_draw_) {
+    // Leader was heard recently; sleep for the remainder.
+    if (election_timer_ != kInvalidTimer) env_->CancelTimer(election_timer_);
+    election_timer_ = env_->SetTimer(election_draw_ - idle,
+                                     [this]() { OnElectionTimeout(); });
+    return;
+  }
+  StartElection();
+}
+
+void PaxosReplica::ArmHeartbeatTimer() {
+  if (heartbeat_timer_ != kInvalidTimer) env_->CancelTimer(heartbeat_timer_);
+  heartbeat_timer_ = env_->SetTimer(options_.heartbeat_interval,
+                                    [this]() { OnHeartbeatTimeout(); });
+}
+
+void PaxosReplica::OnHeartbeatTimeout() {
+  heartbeat_timer_ = kInvalidTimer;
+  if (role_ != Role::kLeader) return;
+  auto hb = std::make_shared<Heartbeat>();
+  hb->ballot = promised_;
+  hb->commit_index = CommitIndex();
+  FanOut(std::move(hb), /*expects_response=*/false);
+  ArmHeartbeatTimer();
+}
+
+void PaxosReplica::ArmRetryTimer() {
+  if (retry_timer_ != kInvalidTimer) env_->CancelTimer(retry_timer_);
+  retry_timer_ = env_->SetTimer(options_.propose_retry_timeout,
+                                [this]() { OnRetryTimeout(); });
+}
+
+void PaxosReplica::OnRetryTimeout() {
+  retry_timer_ = kInvalidTimer;
+  if (role_ != Role::kLeader) return;
+  const TimeNs now = env_->Now();
+  for (auto& [slot, pending] : pending_) {
+    if (now - pending.proposed_at < options_.propose_retry_timeout) continue;
+    const LogEntry* e = log_.Get(slot);
+    if (e == nullptr) continue;
+    pending.proposed_at = now;
+    metrics_.propose_retries++;
+    auto p2a = std::make_shared<P2a>();
+    p2a->ballot = promised_;
+    p2a->slot = slot;
+    p2a->command = e->command;
+    p2a->commit_index = CommitIndex();
+    // A fresh FanOut re-picks random relays in PigPaxos (Fig. 5b).
+    FanOut(std::move(p2a), /*expects_response=*/true);
+  }
+  ArmRetryTimer();
+}
+
+}  // namespace pig::paxos

@@ -1,0 +1,225 @@
+// Multi-Paxos replica (stable leader, piggybacked commits, log-serialized
+// reads). This class contains the complete decision logic; PigPaxos
+// subclasses it and overrides only the communication layer (FanOut and
+// fan-in unwrapping), mirroring the paper's claim that PigPaxos "required
+// almost no changes to the core Paxos code".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "consensus/client_messages.h"
+#include "consensus/env.h"
+#include "log/replicated_log.h"
+#include "paxos/messages.h"
+#include "paxos/quorum_reads.h"
+#include "quorum/quorum.h"
+#include "statemachine/kvstore.h"
+
+namespace pig::paxos {
+
+using pig::Actor;
+using pig::Heartbeat;
+using pig::KvStore;
+using pig::LogEntry;
+using pig::QuorumSystem;
+using pig::ReplicatedLog;
+using pig::TimeNs;
+using pig::TimerId;
+using pig::VoteTally;
+
+struct PaxosOptions {
+  /// Cluster size; replicas are ids [0, num_replicas).
+  size_t num_replicas = 0;
+
+  /// Quorum sizes; defaults to MajorityQuorum(num_replicas).
+  std::shared_ptr<QuorumSystem> quorum;
+
+  /// This node runs phase-1 immediately at start; others wait for their
+  /// election timeout. kInvalidNode disables bootstrap (cold elections).
+  NodeId bootstrap_leader = 0;
+
+  /// Leader liveness beacon period.
+  TimeNs heartbeat_interval = 20 * kMillisecond;
+
+  /// Followers elect a new leader after silence in
+  /// [election_timeout_min, election_timeout_max] (uniform).
+  TimeNs election_timeout_min = 200 * kMillisecond;
+  TimeNs election_timeout_max = 400 * kMillisecond;
+
+  /// Leader re-broadcasts phase-2 for a slot still uncommitted after this
+  /// long (covers drops and, in PigPaxos, dead relays — each retry picks
+  /// fresh random relays, Fig. 5b). Must comfortably exceed worst-case
+  /// queueing delay at saturation or retries amplify overload.
+  TimeNs propose_retry_timeout = 400 * kMillisecond;
+
+  /// Simulated CPU cost of tallying one phase-1/phase-2 vote at the
+  /// leader. PigPaxos reduces the leader's *communication*, but the
+  /// decision work — processing N-1 votes per slot — stays (§6.3:
+  /// "further adding to the leader's load is heavier message
+  /// processing"). No-op on the threaded runtime.
+  TimeNs vote_process_cost = 3 * kMicrosecond;
+
+  /// Follower retry period for outstanding log-sync requests.
+  TimeNs sync_retry_timeout = 40 * kMillisecond;
+
+  /// Executed slots beyond this window are compacted away.
+  size_t compaction_window = 8192;
+};
+
+/// Counters exposed for tests and benches.
+struct ReplicaMetrics {
+  uint64_t proposals = 0;        ///< Client commands this node proposed.
+  uint64_t commits = 0;          ///< Slots this node marked committed.
+  uint64_t executions = 0;       ///< Commands applied to the KV store.
+  uint64_t elections_started = 0;
+  uint64_t elections_won = 0;
+  uint64_t redirects = 0;        ///< Client requests bounced to the leader.
+  uint64_t propose_retries = 0;  ///< Phase-2 re-broadcasts.
+  uint64_t log_syncs = 0;        ///< Catch-up requests served.
+};
+
+class PaxosReplica : public Actor {
+ public:
+  PaxosReplica(NodeId id, PaxosOptions options);
+  ~PaxosReplica() override;
+
+  void OnStart() override;
+  void OnMessage(NodeId from, const MessagePtr& msg) override;
+
+  // --- Introspection (tests, harness) ---------------------------------
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  NodeId KnownLeader() const;
+  const Ballot& promised() const { return promised_; }
+  const ReplicatedLog& log() const { return log_; }
+  const KvStore& store() const { return store_; }
+  const ReplicaMetrics& metrics() const { return metrics_; }
+  const PaxosOptions& options() const { return options_; }
+  NodeId id() const { return id_; }
+
+  /// Forces this node to start an election now (tests/admin).
+  void TriggerElection();
+
+ protected:
+  // --- Communication layer hooks (overridden by PigPaxos) --------------
+
+  /// Sends `msg` from the leader toward every other replica.
+  /// `expects_response` is false for one-way traffic (heartbeats, P3).
+  virtual void FanOut(MessagePtr msg, bool expects_response);
+
+  /// Processes one leader->follower message and returns the follower's
+  /// response (nullptr for one-way messages). Shared by the direct path
+  /// and the relay path.
+  MessagePtr HandleFanOutMessage(const Message& msg);
+
+  /// Feeds one fan-in response (possibly extracted from a relay
+  /// aggregate) into the leader logic.
+  void HandleResponse(const Message& msg);
+
+  /// Messages this node would broadcast if it were using direct
+  /// communication; exposed so subclasses can intercept.
+  const std::vector<NodeId>& peers() const { return peers_; }
+
+  // --- Shared internals -------------------------------------------------
+
+  void HandleClientRequest(NodeId from, const ClientRequest& req);
+
+  ReplicaMetrics metrics_;
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  // Fan-out handlers (follower side).
+  MessagePtr HandleP1a(const P1a& msg);
+  MessagePtr HandleP2a(const P2a& msg);
+  MessagePtr HandleP3(const P3& msg);
+  MessagePtr HandleHeartbeat(const Heartbeat& msg);
+
+  // Fan-in handlers (leader side).
+  void HandleP1b(const P1b& msg);
+  void HandleP2b(const P2b& msg);
+
+  // Log catch-up.
+  void HandleLogSyncRequest(NodeId from, const LogSyncRequest& req);
+  void HandleLogSyncResponse(const LogSyncResponse& resp);
+
+  // Paxos Quorum Reads extension (§4.3).
+  void HandleQuorumRead(NodeId from, const QuorumReadRequest& req);
+
+  void StartElection();
+  void BecomeLeader();
+  void StepDown(const Ballot& higher);
+  void Propose(const Command& cmd, NodeId client);
+  void ProposeAt(SlotId slot, const Command& cmd);
+  void CommitSlot(SlotId slot);
+  void AdvanceCommit(SlotId upto, const Ballot& ballot);
+  void ExecuteReady();
+  void MaybeRequestSync(SlotId target_ci);
+  void NoteLeaderContact(const Ballot& ballot);
+  void ReplyToClient(NodeId client, uint64_t seq, StatusCode code,
+                     std::string value, SlotId slot);
+
+  void ArmElectionTimer();
+  void ArmHeartbeatTimer();
+  void ArmRetryTimer();
+  void OnElectionTimeout();
+  void OnHeartbeatTimeout();
+  void OnRetryTimeout();
+
+  SlotId CommitIndex() const { return log_.ContiguousCommitIndex(); }
+
+  const NodeId id_;
+  PaxosOptions options_;
+  std::vector<NodeId> peers_;  // all replicas except self
+
+  Role role_ = Role::kFollower;
+  Ballot promised_;            // highest ballot seen/promised
+  NodeId leader_hint_ = kInvalidNode;
+
+  ReplicatedLog log_;
+  KvStore store_;
+  SlotId next_slot_ = 0;
+
+  // Candidate state.
+  std::unique_ptr<VoteTally> p1_tally_;
+  std::unordered_map<SlotId, AcceptedEntry> p1_adopted_;
+  SlotId p1_max_slot_ = kInvalidSlot;
+
+  // Leader state.
+  struct Pending {
+    std::unique_ptr<VoteTally> tally;
+    TimeNs proposed_at = 0;
+  };
+  std::unordered_map<SlotId, Pending> pending_;
+
+  // In-flight client seq per client (duplicate-suppression at the leader).
+  std::unordered_map<NodeId, uint64_t> client_pending_;
+
+  // Client dedup / reply cache: last executed seq + result per client.
+  struct ClientRecord {
+    uint64_t seq = 0;
+    std::string value;
+    SlotId slot = kInvalidSlot;
+  };
+  std::unordered_map<NodeId, ClientRecord> client_records_;
+
+  // Follower catch-up state.
+  SlotId sync_requested_upto_ = kInvalidSlot;
+  TimeNs last_sync_request_ = 0;
+
+  // Per-key write watermarks for the quorum-read extension: the highest
+  // slot of an accepted write and of an executed write per key.
+  std::unordered_map<std::string, SlotId> key_accept_watermark_;
+  std::unordered_map<std::string, SlotId> key_exec_slot_;
+
+  TimerId election_timer_ = kInvalidTimer;
+  TimerId heartbeat_timer_ = kInvalidTimer;
+  TimerId retry_timer_ = kInvalidTimer;
+  TimeNs last_leader_contact_ = 0;
+  TimeNs election_draw_ = 0;  // timeout drawn for the current timer
+};
+
+}  // namespace pig::paxos

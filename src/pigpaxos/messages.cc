@@ -1,0 +1,112 @@
+#include "pigpaxos/messages.h"
+
+#include <cstdio>
+
+#include "consensus/client_messages.h"
+#include "paxos/messages.h"
+
+namespace pig::pigpaxos {
+
+namespace {
+void EncodeNested(Encoder& enc, const MessagePtr& msg) {
+  Encoder inner;
+  inner.PutU8(static_cast<uint8_t>(msg->type()));
+  msg->EncodeBody(inner);
+  const auto& buf = inner.buffer();
+  enc.PutBytes(std::string_view(reinterpret_cast<const char*>(buf.data()),
+                                buf.size()));
+}
+
+Status DecodeNested(Decoder& dec, MessagePtr* out) {
+  std::string bytes;
+  Status s = dec.GetBytes(&bytes);
+  if (!s.ok()) return s;
+  return DecodeMessage(reinterpret_cast<const uint8_t*>(bytes.data()),
+                       bytes.size(), out);
+}
+}  // namespace
+
+void RelayRequest::EncodeBody(Encoder& enc) const {
+  enc.PutU64(relay_id);
+  enc.PutU32(origin);
+  enc.PutBool(expects_response);
+  enc.PutVarint(members.size());
+  for (NodeId m : members) enc.PutU32(m);
+  enc.PutU32(sub_layers);
+  enc.PutU32(sub_groups);
+  EncodeNested(enc, inner);
+}
+
+Status RelayRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<RelayRequest>();
+  Status s;
+  if (!(s = dec.GetU64(&m->relay_id)).ok()) return s;
+  if (!(s = dec.GetU32(&m->origin)).ok()) return s;
+  if (!(s = dec.GetBool(&m->expects_response)).ok()) return s;
+  uint64_t n = 0;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("member count too big");
+  m->members.resize(static_cast<size_t>(n));
+  for (auto& node : m->members) {
+    if (!(s = dec.GetU32(&node)).ok()) return s;
+  }
+  if (!(s = dec.GetU32(&m->sub_layers)).ok()) return s;
+  if (!(s = dec.GetU32(&m->sub_groups)).ok()) return s;
+  if (!(s = DecodeNested(dec, &m->inner)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string RelayRequest::DebugString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "RelayRequest{id=%llu, origin=%u, %zu members, inner=%s}",
+                static_cast<unsigned long long>(relay_id), origin,
+                members.size(),
+                inner ? inner->DebugString().c_str() : "null");
+  return buf;
+}
+
+void RelayResponse::EncodeBody(Encoder& enc) const {
+  enc.PutU64(relay_id);
+  enc.PutU32(sender);
+  enc.PutBool(final_batch);
+  enc.PutVarint(responses.size());
+  for (const MessagePtr& r : responses) EncodeNested(enc, r);
+}
+
+Status RelayResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<RelayResponse>();
+  Status s;
+  if (!(s = dec.GetU64(&m->relay_id)).ok()) return s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  if (!(s = dec.GetBool(&m->final_batch)).ok()) return s;
+  uint64_t n = 0;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("response count");
+  m->responses.resize(static_cast<size_t>(n));
+  for (auto& r : m->responses) {
+    if (!(s = DecodeNested(dec, &r)).ok()) return s;
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string RelayResponse::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "RelayResponse{id=%llu, from=%u, %zu responses, final=%d}",
+                static_cast<unsigned long long>(relay_id), sender,
+                responses.size(), final_batch);
+  return buf;
+}
+
+void RegisterPigPaxosMessages() {
+  pig::RegisterCommonMessages();
+  paxos::RegisterPaxosMessages();
+  RegisterMessageDecoder(MsgType::kRelayRequest, &RelayRequest::DecodeBody);
+  RegisterMessageDecoder(MsgType::kRelayResponse,
+                         &RelayResponse::DecodeBody);
+}
+
+}  // namespace pig::pigpaxos

@@ -1,0 +1,79 @@
+// PigPaxos relay envelopes.
+//
+// The leader wraps each fan-out Paxos message in a RelayRequest addressed
+// to one random relay per group; relays forward it to the remaining group
+// members and aggregate their responses into a single RelayResponse
+// (paper §3.2). Envelopes are transparent to the Paxos decision logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consensus/message.h"
+
+namespace pig::pigpaxos {
+
+using pig::Decoder;
+using pig::Encoder;
+using pig::Message;
+using pig::MessagePtr;
+using pig::MsgType;
+using pig::NodeId;
+using pig::Status;
+
+/// Leader -> relay -> member fan-out envelope.
+struct RelayRequest final : Message {
+  /// Unique per fan-out round at the origin (origin id breaks ties between
+  /// leaders); matches responses to aggregations across the whole tree.
+  uint64_t relay_id = 0;
+
+  /// The node that initiated the fan-out (the leader / candidate).
+  NodeId origin = kInvalidNode;
+
+  /// False for one-way traffic (heartbeats, P3): no aggregation needed.
+  bool expects_response = true;
+
+  /// Nodes this relay must forward to (empty for leaf members). Shipping
+  /// membership in the message enables per-round dynamic regrouping
+  /// (paper §4.1).
+  std::vector<NodeId> members;
+
+  /// Remaining relay layers below this node (§6.3 multi-layer trees).
+  /// 0 = forward directly to members.
+  uint32_t sub_layers = 0;
+
+  /// Number of subgroups to split members into when sub_layers > 0.
+  uint32_t sub_groups = 2;
+
+  /// The wrapped Paxos message.
+  MessagePtr inner;
+
+  MsgType type() const override { return MsgType::kRelayRequest; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Member/relay -> relay/leader aggregated fan-in envelope.
+struct RelayResponse final : Message {
+  uint64_t relay_id = 0;
+  NodeId sender = kInvalidNode;
+
+  /// False when this is an early partial batch (threshold responses,
+  /// paper §4.2); the final batch (or timeout batch) carries true.
+  bool final_batch = true;
+
+  /// Aggregated follower responses (P1b/P2b), piggybacked together.
+  std::vector<MessagePtr> responses;
+
+  MsgType type() const override { return MsgType::kRelayResponse; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Registers PigPaxos envelope decoders (and the Paxos + common decoders
+/// they nest).
+void RegisterPigPaxosMessages();
+
+}  // namespace pig::pigpaxos

@@ -1,0 +1,92 @@
+#include "pigpaxos/relay_groups.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace pig::pigpaxos {
+
+RelayGroupPlanner::RelayGroupPlanner(std::vector<NodeId> followers,
+                                     RelayGroupConfig config)
+    : followers_(std::move(followers)), config_(std::move(config)) {
+  assert(!followers_.empty());
+  if (config_.num_groups == 0) config_.num_groups = 1;
+  config_.num_groups = std::min(config_.num_groups, followers_.size());
+  BuildGroups();
+}
+
+void RelayGroupPlanner::BuildGroups() {
+  groups_.clear();
+  switch (config_.strategy) {
+    case GroupingStrategy::kContiguous: {
+      const size_t g = config_.num_groups;
+      const size_t n = followers_.size();
+      groups_.resize(g);
+      // Distribute sizes as evenly as possible: first (n % g) groups get
+      // one extra member.
+      size_t idx = 0;
+      for (size_t i = 0; i < g; ++i) {
+        size_t len = n / g + (i < n % g ? 1 : 0);
+        for (size_t k = 0; k < len; ++k) groups_[i].push_back(followers_[idx++]);
+      }
+      break;
+    }
+    case GroupingStrategy::kRoundRobin: {
+      groups_.resize(config_.num_groups);
+      for (size_t i = 0; i < followers_.size(); ++i) {
+        groups_[i % config_.num_groups].push_back(followers_[i]);
+      }
+      break;
+    }
+    case GroupingStrategy::kRegion: {
+      assert(config_.region_of && "kRegion grouping requires region_of");
+      std::map<int, std::vector<NodeId>> by_region;
+      for (NodeId f : followers_) by_region[config_.region_of(f)].push_back(f);
+      for (auto& [_, nodes] : by_region) groups_.push_back(std::move(nodes));
+      break;
+    }
+  }
+  // Drop empty groups (possible when num_groups > followers).
+  groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
+                               [](const auto& g) { return g.empty(); }),
+                groups_.end());
+
+  // Optional overlap: each group borrows the first `overlap` members of
+  // the next group (cyclically), creating redundant delivery paths.
+  if (config_.overlap > 0 && groups_.size() > 1) {
+    std::vector<std::vector<NodeId>> extras(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      const auto& next = groups_[(g + 1) % groups_.size()];
+      for (size_t k = 0; k < config_.overlap && k < next.size(); ++k) {
+        extras[g].push_back(next[k]);
+      }
+    }
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      groups_[g].insert(groups_[g].end(), extras[g].begin(),
+                        extras[g].end());
+    }
+  }
+}
+
+NodeId RelayGroupPlanner::PickRelay(size_t g, Rng& rng) const {
+  assert(g < groups_.size());
+  const auto& group = groups_[g];
+  return group[rng.NextBounded(group.size())];
+}
+
+void RelayGroupPlanner::Reshuffle(Rng& rng) {
+  rng.Shuffle(followers_);
+  // Region grouping is topology-bound; reshuffling only permutes members
+  // within their regions, which BuildGroups redoes from follower order.
+  BuildGroups();
+}
+
+void RelayGroupPlanner::SetGroups(std::vector<std::vector<NodeId>> groups) {
+  groups_ = std::move(groups);
+  followers_.clear();
+  for (const auto& g : groups_) {
+    followers_.insert(followers_.end(), g.begin(), g.end());
+  }
+}
+
+}  // namespace pig::pigpaxos

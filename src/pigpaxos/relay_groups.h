@@ -1,0 +1,66 @@
+// Relay group planning (paper §3.2-3.3, §4.1).
+//
+// Followers are partitioned into disjoint relay groups. Grouping can be
+// by contiguous id ranges, round-robin hashing, or cluster topology
+// (one group per region, §6.4). Groups can be reshuffled at runtime
+// (dynamic regrouping, §4.1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pig::pigpaxos {
+
+using pig::NodeId;
+using pig::Rng;
+
+enum class GroupingStrategy {
+  kContiguous,  ///< Consecutive id ranges.
+  kRoundRobin,  ///< node i -> group i mod g.
+  kRegion,      ///< One group per topology region (needs region_of).
+};
+
+struct RelayGroupConfig {
+  size_t num_groups = 3;
+  GroupingStrategy strategy = GroupingStrategy::kContiguous;
+  /// Region lookup for kRegion grouping.
+  std::function<int(NodeId)> region_of;
+
+  /// Overlapping groups (§3.3, §4.1): each group additionally borrows
+  /// this many members from the next group. Overlap duplicates some
+  /// traffic but adds redundant paths to reach nodes under link
+  /// volatility; duplicate votes are idempotent at the leader.
+  size_t overlap = 0;
+};
+
+/// Plans and maintains the relay-group partition of a follower set.
+class RelayGroupPlanner {
+ public:
+  RelayGroupPlanner(std::vector<NodeId> followers, RelayGroupConfig config);
+
+  const std::vector<std::vector<NodeId>>& groups() const { return groups_; }
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Picks a uniformly random relay for group `g` (paper step 1: the
+  /// relay rotates every round to amortize the extra load).
+  NodeId PickRelay(size_t g, Rng& rng) const;
+
+  /// Dynamic regrouping (§4.1): random re-partition into the same number
+  /// of groups.
+  void Reshuffle(Rng& rng);
+
+  /// Replaces the partition wholesale (admin/topology changes).
+  void SetGroups(std::vector<std::vector<NodeId>> groups);
+
+ private:
+  void BuildGroups();
+
+  std::vector<NodeId> followers_;
+  RelayGroupConfig config_;
+  std::vector<std::vector<NodeId>> groups_;
+};
+
+}  // namespace pig::pigpaxos

@@ -1,0 +1,368 @@
+#include "pigpaxos/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "paxos/messages.h"
+
+namespace pig::pigpaxos {
+
+using pig::paxos::P1b;
+using pig::paxos::P2b;
+
+namespace {
+std::vector<NodeId> FollowersOf(NodeId self, size_t n) {
+  std::vector<NodeId> out;
+  out.reserve(n - 1);
+  for (NodeId i = 0; i < n; ++i) {
+    if (i != self) out.push_back(i);
+  }
+  return out;
+}
+}  // namespace
+
+PigPaxosReplica::PigPaxosReplica(NodeId id, PigPaxosOptions options)
+    : PaxosReplica(id, options.paxos),
+      pig_options_(std::move(options)),
+      planner_(FollowersOf(id, options.paxos.num_replicas),
+               RelayGroupConfig{pig_options_.num_relay_groups,
+                                pig_options_.grouping,
+                                pig_options_.region_of,
+                                pig_options_.group_overlap}),
+      // Disambiguate relay ids between leaders: high bits carry the id.
+      next_relay_id_((static_cast<uint64_t>(id) << 40) + 1) {}
+
+PigPaxosReplica::~PigPaxosReplica() = default;
+
+void PigPaxosReplica::OnStart() {
+  PaxosReplica::OnStart();
+  if (pig_options_.reshuffle_interval > 0 &&
+      reshuffle_timer_ == kInvalidTimer) {
+    reshuffle_timer_ = env_->SetTimer(pig_options_.reshuffle_interval,
+                                      [this]() { ReshuffleTick(); });
+  }
+}
+
+void PigPaxosReplica::ReshuffleTick() {
+  reshuffle_timer_ = kInvalidTimer;
+  if (IsLeader()) ReshuffleGroups();
+  if (pig_options_.reshuffle_interval > 0) {
+    reshuffle_timer_ = env_->SetTimer(pig_options_.reshuffle_interval,
+                                      [this]() { ReshuffleTick(); });
+  }
+}
+
+void PigPaxosReplica::ReshuffleGroups() {
+  planner_.Reshuffle(env_->rng());
+  relay_metrics_.reshuffles++;
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out through the relay tree
+
+void PigPaxosReplica::FanOut(MessagePtr msg, bool expects_response) {
+  relay_metrics_.fan_outs++;
+  const auto& groups = planner_.groups();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<NodeId>& group = groups[g];
+    NodeId relay = PickLiveRelay(group);
+    auto req = std::make_shared<RelayRequest>();
+    req->relay_id = next_relay_id_++;
+    req->origin = id();
+    req->expects_response = expects_response;
+    req->members.reserve(group.size() - 1);
+    for (NodeId n : group) {
+      if (n != relay) req->members.push_back(n);
+    }
+    req->sub_layers = pig_options_.relay_layers > 0
+                          ? pig_options_.relay_layers - 1
+                          : 0;
+    req->sub_groups = pig_options_.sub_groups;
+    req->inner = msg;
+    if (expects_response) WatchRelay(req->relay_id, relay);
+    env_->Send(relay, std::move(req));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Relay liveness (connection-level failure detection at the leader)
+
+bool PigPaxosReplica::IsSuspected(NodeId node) const {
+  auto it = suspected_until_.find(node);
+  return it != suspected_until_.end() && it->second > env_->Now();
+}
+
+NodeId PigPaxosReplica::PickLiveRelay(const std::vector<NodeId>& group) {
+  // Reservoir-sample among non-suspected members; fall back to a fully
+  // random pick when the whole group is suspected (Fig. 5b retries).
+  NodeId choice = kInvalidNode;
+  size_t live = 0;
+  for (NodeId n : group) {
+    if (IsSuspected(n)) continue;
+    live++;
+    if (env_->rng().NextBounded(live) == 0) choice = n;
+  }
+  if (choice != kInvalidNode) return choice;
+  return group[env_->rng().NextBounded(group.size())];
+}
+
+void PigPaxosReplica::WatchRelay(uint64_t relay_id, NodeId relay) {
+  const TimeNs ack_timeout = pig_options_.relay_ack_timeout > 0
+                                 ? pig_options_.relay_ack_timeout
+                                 : 2 * pig_options_.relay_timeout;
+  outstanding_relays_.emplace(relay_id, relay);
+  relay_watch_.emplace_back(env_->Now() + ack_timeout, relay_id);
+  if (relay_watch_timer_ == kInvalidTimer) {
+    relay_watch_timer_ =
+        env_->SetTimer(ack_timeout, [this]() { RelayWatchTick(); });
+  }
+}
+
+void PigPaxosReplica::RelayWatchTick() {
+  relay_watch_timer_ = kInvalidTimer;
+  const TimeNs now = env_->Now();
+  while (!relay_watch_.empty() && relay_watch_.front().first <= now) {
+    uint64_t relay_id = relay_watch_.front().second;
+    relay_watch_.pop_front();
+    auto it = outstanding_relays_.find(relay_id);
+    if (it == outstanding_relays_.end()) continue;  // answered in time
+    suspected_until_[it->second] = now + pig_options_.suspicion_duration;
+    relay_metrics_.relays_suspected++;
+    outstanding_relays_.erase(it);
+  }
+  if (!relay_watch_.empty()) {
+    relay_watch_timer_ = env_->SetTimer(
+        relay_watch_.front().first - now, [this]() { RelayWatchTick(); });
+  }
+}
+
+void PigPaxosReplica::MarkResponsive(NodeId node) {
+  suspected_until_.erase(node);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+void PigPaxosReplica::OnMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kRelayRequest:
+      HandleRelayRequest(from, static_cast<const RelayRequest&>(*msg));
+      return;
+    case MsgType::kRelayResponse:
+      HandleRelayResponse(from, static_cast<const RelayResponse&>(*msg));
+      return;
+    default:
+      PaxosReplica::OnMessage(from, msg);
+  }
+}
+
+bool PigPaxosReplica::IsReject(const Message& msg) {
+  switch (msg.type()) {
+    case MsgType::kP1b:
+      return !static_cast<const P1b&>(msg).ok;
+    case MsgType::kP2b:
+      return !static_cast<const P2b&>(msg).ok;
+    default:
+      return false;
+  }
+}
+
+void PigPaxosReplica::HandleRelayRequest(NodeId from,
+                                         const RelayRequest& req) {
+  // Step 2 (paper §3.2): the relay processes the message as a regular
+  // follower first.
+  MessagePtr own_response = HandleFanOutMessage(*req.inner);
+
+  if (req.members.empty()) {
+    // Leaf member: respond straight to whoever relayed to us.
+    if (req.expects_response && own_response != nullptr) {
+      auto resp = std::make_shared<RelayResponse>();
+      resp->relay_id = req.relay_id;
+      resp->sender = id();
+      resp->responses.push_back(std::move(own_response));
+      env_->Send(from, std::move(resp));
+    }
+    return;
+  }
+
+  relay_metrics_.relays_served++;
+
+  if (!req.expects_response) {
+    // One-way traffic (heartbeats/P3): just forward.
+    ForwardToMembers(req, req.members);
+    return;
+  }
+
+  // Set up aggregation state, seeded with our own response.
+  Aggregation agg;
+  agg.requester = from;
+  agg.expected = req.members.size() + 1;  // members + self
+  agg.threshold = pig_options_.group_response_threshold;
+  if (own_response != nullptr) {
+    if (IsReject(*own_response)) {
+      // Rejections bypass aggregation (§4.2 footnote).
+      relay_metrics_.rejects_fast_tracked++;
+      auto resp = std::make_shared<RelayResponse>();
+      resp->relay_id = req.relay_id;
+      resp->sender = id();
+      resp->responses.push_back(std::move(own_response));
+      env_->Send(from, std::move(resp));
+      agg.collected = 1;
+    } else {
+      agg.buffer.push_back(std::move(own_response));
+      agg.collected = 1;
+    }
+  }
+  const uint64_t relay_id = req.relay_id;
+  // Duplicate round (leader retry routed to the same relay): drop the old
+  // aggregation before starting fresh.
+  auto old = aggregations_.find(relay_id);
+  if (old != aggregations_.end()) {
+    env_->CancelTimer(old->second.timer);
+    aggregations_.erase(old);
+  }
+  // Multi-level trees use progressively larger timeouts at higher levels
+  // so a parent's window covers its children's (paper footnote 1).
+  const TimeNs timeout =
+      pig_options_.relay_timeout * static_cast<TimeNs>(1 + req.sub_layers);
+  agg.timer = env_->SetTimer(timeout,
+                             [this, relay_id]() { OnRelayTimeout(relay_id); });
+  aggregations_.emplace(relay_id, std::move(agg));
+
+  ForwardToMembers(req, req.members);
+
+  // Degenerate group of one node: we already have every response.
+  Aggregation& live = aggregations_[relay_id];
+  if (live.collected >= live.expected) {
+    FlushAggregation(relay_id, live, /*final_batch=*/true);
+    env_->CancelTimer(live.timer);
+    aggregations_.erase(relay_id);
+  } else if (live.threshold > 0 && !live.first_sent &&
+             live.collected >= live.threshold) {
+    FlushAggregation(relay_id, live, /*final_batch=*/false);
+  }
+}
+
+void PigPaxosReplica::ForwardToMembers(const RelayRequest& req,
+                                       const std::vector<NodeId>& members) {
+  if (req.sub_layers > 0 && members.size() > req.sub_groups &&
+      req.sub_groups > 1) {
+    // Multi-layer tree (§6.3): split members into subgroups, pick a
+    // random sub-relay for each.
+    const size_t g = req.sub_groups;
+    std::vector<std::vector<NodeId>> subgroups(g);
+    for (size_t i = 0; i < members.size(); ++i) {
+      subgroups[i % g].push_back(members[i]);
+    }
+    for (auto& sub : subgroups) {
+      if (sub.empty()) continue;
+      size_t pick = static_cast<size_t>(env_->rng().NextBounded(sub.size()));
+      NodeId sub_relay = sub[pick];
+      auto fwd = std::make_shared<RelayRequest>();
+      fwd->relay_id = req.relay_id;
+      fwd->origin = req.origin;
+      fwd->expects_response = req.expects_response;
+      for (size_t i = 0; i < sub.size(); ++i) {
+        if (i != pick) fwd->members.push_back(sub[i]);
+      }
+      fwd->sub_layers = req.sub_layers - 1;
+      fwd->sub_groups = req.sub_groups;
+      fwd->inner = req.inner;
+      env_->Send(sub_relay, std::move(fwd));
+    }
+    return;
+  }
+  // Single layer: forward to each member as a leaf.
+  for (NodeId m : members) {
+    auto fwd = std::make_shared<RelayRequest>();
+    fwd->relay_id = req.relay_id;
+    fwd->origin = req.origin;
+    fwd->expects_response = req.expects_response;
+    fwd->sub_layers = 0;
+    fwd->sub_groups = req.sub_groups;
+    fwd->inner = req.inner;
+    env_->Send(m, std::move(fwd));
+  }
+}
+
+void PigPaxosReplica::HandleRelayResponse(NodeId from,
+                                          const RelayResponse& resp) {
+  (void)from;
+  MarkResponsive(resp.sender);
+  outstanding_relays_.erase(resp.relay_id);
+  auto it = aggregations_.find(resp.relay_id);
+  if (it == aggregations_.end()) {
+    // Not one of our aggregations: we are the origin (leader/candidate),
+    // or the aggregation already timed out — feed responses into the
+    // Paxos decision logic either way (late votes are harmless and the
+    // paper's timeout design counts on them sometimes arriving).
+    for (const MessagePtr& r : resp.responses) {
+      if (r->type() == MsgType::kP1b) {
+        MarkResponsive(static_cast<const paxos::P1b&>(*r).sender);
+      } else if (r->type() == MsgType::kP2b) {
+        MarkResponsive(static_cast<const paxos::P2b&>(*r).sender);
+      }
+      HandleResponse(*r);
+    }
+    return;
+  }
+  Aggregation& agg = it->second;
+  for (const MessagePtr& r : resp.responses) {
+    AddResponse(agg, resp.relay_id, r);
+  }
+  if (agg.collected >= agg.expected) {
+    FlushAggregation(resp.relay_id, agg, /*final_batch=*/true);
+    env_->CancelTimer(agg.timer);
+    aggregations_.erase(it);
+  } else if (agg.threshold > 0 && !agg.first_sent &&
+             agg.collected >= agg.threshold) {
+    FlushAggregation(resp.relay_id, agg, /*final_batch=*/false);
+  }
+}
+
+void PigPaxosReplica::AddResponse(Aggregation& agg, uint64_t relay_id,
+                                  MessagePtr resp) {
+  agg.collected++;
+  if (IsReject(*resp)) {
+    // Forward rejections immediately, without waiting for the rest.
+    relay_metrics_.rejects_fast_tracked++;
+    auto out = std::make_shared<RelayResponse>();
+    out->relay_id = relay_id;
+    out->sender = id();
+    out->final_batch = false;
+    out->responses.push_back(std::move(resp));
+    env_->Send(agg.requester, std::move(out));
+    return;
+  }
+  agg.buffer.push_back(std::move(resp));
+}
+
+void PigPaxosReplica::FlushAggregation(uint64_t relay_id, Aggregation& agg,
+                                       bool final_batch) {
+  if (agg.buffer.empty() && !final_batch) return;
+  if (!agg.buffer.empty()) {
+    auto out = std::make_shared<RelayResponse>();
+    out->relay_id = relay_id;
+    out->sender = id();
+    out->final_batch = final_batch;
+    out->responses = std::move(agg.buffer);
+    agg.buffer.clear();
+    relay_metrics_.aggregates_sent++;
+    if (!final_batch) relay_metrics_.early_batches++;
+    env_->Send(agg.requester, std::move(out));
+  }
+  agg.first_sent = true;
+}
+
+void PigPaxosReplica::OnRelayTimeout(uint64_t relay_id) {
+  auto it = aggregations_.find(relay_id);
+  if (it == aggregations_.end()) return;
+  relay_metrics_.relay_timeouts++;
+  // Forward whatever was collected so far (§3.4: partial responses reach
+  // the leader in the hope the majority quorum is still satisfied).
+  FlushAggregation(relay_id, it->second, /*final_batch=*/true);
+  aggregations_.erase(it);
+}
+
+}  // namespace pig::pigpaxos

@@ -1,0 +1,143 @@
+// PigPaxos replica.
+//
+// Inherits the complete Multi-Paxos decision logic from PaxosReplica and
+// replaces only the communication implementation (paper §3.3): fan-out
+// goes through one random relay per relay group; relays forward to their
+// group peers and aggregate the responses back to the leader, with a
+// tight timeout guarding against sluggish or crashed followers (§3.4).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "paxos/replica.h"
+#include "pigpaxos/messages.h"
+#include "pigpaxos/relay_groups.h"
+
+namespace pig::pigpaxos {
+
+using pig::paxos::PaxosOptions;
+using pig::paxos::PaxosReplica;
+using pig::TimeNs;
+using pig::TimerId;
+
+struct PigPaxosOptions {
+  PaxosOptions paxos;
+
+  /// Number of relay groups (the paper's main tuning knob; Fig. 7).
+  size_t num_relay_groups = 3;
+
+  GroupingStrategy grouping = GroupingStrategy::kContiguous;
+
+  /// Region lookup for GroupingStrategy::kRegion (§6.4 WAN grouping).
+  std::function<int(NodeId)> region_of;
+
+  /// Relays stop waiting for group members after this long and forward
+  /// whatever they collected (§3.4; Fig. 13 uses 50 ms).
+  TimeNs relay_timeout = 50 * kMillisecond;
+
+  /// Partial response collection (§4.2): if > 0, a relay sends its first
+  /// aggregate once it has this many responses (including its own),
+  /// forwarding stragglers in a final batch. 0 = wait for the full group.
+  size_t group_response_threshold = 0;
+
+  /// Relay tree depth (§6.3). 1 = single relay layer (the paper's
+  /// default); >1 splits groups into nested subgroups.
+  uint32_t relay_layers = 1;
+
+  /// Subgroups per nested layer when relay_layers > 1.
+  uint32_t sub_groups = 2;
+
+  /// Overlapping relay groups (§3.3/§4.1): extra members borrowed from
+  /// the neighbouring group, adding redundant paths at the cost of some
+  /// duplicate traffic. 0 = disjoint groups (the paper's default).
+  size_t group_overlap = 0;
+
+  /// Dynamic regrouping period (§4.1): when > 0, the leader reshuffles
+  /// group membership this often. 0 = static groups.
+  TimeNs reshuffle_interval = 0;
+
+  /// Relay liveness: if no response (not even partial) arrives from a
+  /// relay within this long, the leader suspects it and avoids choosing
+  /// it as relay for `suspicion_duration`. Models the connection-level
+  /// failure detection a TCP transport gets for free. 0 derives
+  /// 2 * relay_timeout.
+  TimeNs relay_ack_timeout = 0;
+  TimeNs suspicion_duration = 2 * kSecond;
+};
+
+/// Counters specific to the relay layer.
+struct RelayMetrics {
+  uint64_t fan_outs = 0;          ///< Relay rounds initiated as leader.
+  uint64_t relays_served = 0;     ///< Rounds this node acted as relay.
+  uint64_t relay_timeouts = 0;    ///< Aggregations cut short by timeout.
+  uint64_t aggregates_sent = 0;   ///< RelayResponses sent upward.
+  uint64_t early_batches = 0;     ///< Threshold-triggered partial batches.
+  uint64_t rejects_fast_tracked = 0;
+  uint64_t reshuffles = 0;
+  uint64_t relays_suspected = 0;  ///< Unresponsive relays blacklisted.
+};
+
+class PigPaxosReplica : public PaxosReplica {
+ public:
+  PigPaxosReplica(NodeId id, PigPaxosOptions options);
+  ~PigPaxosReplica() override;
+
+  void OnStart() override;
+  void OnMessage(NodeId from, const MessagePtr& msg) override;
+
+  const RelayMetrics& relay_metrics() const { return relay_metrics_; }
+  const RelayGroupPlanner& planner() const { return planner_; }
+  const PigPaxosOptions& pig_options() const { return pig_options_; }
+
+  /// Admin hook: force a dynamic regrouping now (§4.1).
+  void ReshuffleGroups();
+
+ protected:
+  /// Relay-tree fan-out replacing direct broadcast.
+  void FanOut(MessagePtr msg, bool expects_response) override;
+
+ private:
+  struct Aggregation {
+    NodeId requester = kInvalidNode;
+    size_t expected = 0;        ///< Responses still owed by the subtree.
+    size_t threshold = 0;       ///< Early-batch trigger (0 = disabled).
+    bool first_sent = false;
+    std::vector<MessagePtr> buffer;
+    size_t collected = 0;       ///< Total responses seen (sent + buffered).
+    TimerId timer = kInvalidTimer;
+  };
+
+  void ReshuffleTick();
+  void HandleRelayRequest(NodeId from, const RelayRequest& req);
+  void HandleRelayResponse(NodeId from, const RelayResponse& resp);
+  void ForwardToMembers(const RelayRequest& req,
+                        const std::vector<NodeId>& members);
+  void AddResponse(Aggregation& agg, uint64_t relay_id, MessagePtr resp);
+  void FlushAggregation(uint64_t relay_id, Aggregation& agg,
+                        bool final_batch);
+  void OnRelayTimeout(uint64_t relay_id);
+  static bool IsReject(const Message& msg);
+
+  // Relay liveness tracking (leader side).
+  NodeId PickLiveRelay(const std::vector<NodeId>& group);
+  void WatchRelay(uint64_t relay_id, NodeId relay);
+  void MarkResponsive(NodeId node);
+  void RelayWatchTick();
+  bool IsSuspected(NodeId node) const;
+
+  PigPaxosOptions pig_options_;
+  RelayGroupPlanner planner_;
+  RelayMetrics relay_metrics_;
+  uint64_t next_relay_id_;
+  std::unordered_map<uint64_t, Aggregation> aggregations_;
+  TimerId reshuffle_timer_ = kInvalidTimer;
+
+  // relay_id -> relay node awaiting any response (leader side).
+  std::unordered_map<uint64_t, NodeId> outstanding_relays_;
+  std::deque<std::pair<TimeNs, uint64_t>> relay_watch_;  // (deadline, id)
+  std::unordered_map<NodeId, TimeNs> suspected_until_;
+  TimerId relay_watch_timer_ = kInvalidTimer;
+};
+
+}  // namespace pig::pigpaxos

@@ -1,0 +1,38 @@
+#include "quorum/quorum.h"
+
+namespace pig {
+
+Status QuorumSystem::Validate() const {
+  const size_t n = num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty cluster");
+  if (Phase1Size() == 0 || Phase1Size() > n) {
+    return Status::InvalidArgument("phase-1 quorum out of range");
+  }
+  if (Phase2Size() == 0 || Phase2Size() > n) {
+    return Status::InvalidArgument("phase-2 quorum out of range");
+  }
+  if (Phase1Size() + Phase2Size() <= n) {
+    return Status::InvalidArgument(
+        "quorums do not intersect: q1 + q2 must exceed n");
+  }
+  return Status::Ok();
+}
+
+std::string FlexibleQuorum::Name() const {
+  return "flexible(q1=" + std::to_string(q1_) +
+         ",q2=" + std::to_string(q2_) + ")";
+}
+
+bool VoteTally::Ack(NodeId node) {
+  if (nacks_.count(node)) return false;
+  bool was_passed = Passed();
+  acks_.insert(node);
+  return !was_passed && Passed();
+}
+
+void VoteTally::Nack(NodeId node) {
+  acks_.erase(node);
+  nacks_.insert(node);
+}
+
+}  // namespace pig

@@ -1,0 +1,94 @@
+// Quorum systems.
+//
+// Paxos needs phase-1 quorums (Q1) to intersect phase-2 quorums (Q2).
+// MajorityQuorum sets |Q1| = |Q2| = floor(N/2)+1; FlexibleQuorum (FPaxos,
+// §2.2 of the paper) trades a larger Q1 for a smaller Q2 subject to
+// q1 + q2 > N.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pig {
+
+/// Sizes of the two Paxos quorums over N replicas.
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  virtual size_t num_nodes() const = 0;
+  /// Votes required to win phase-1 (leader election).
+  virtual size_t Phase1Size() const = 0;
+  /// Votes required to anchor a command in phase-2.
+  virtual size_t Phase2Size() const = 0;
+
+  virtual std::string Name() const = 0;
+
+  /// Checks the FPaxos intersection requirement Q1 + Q2 > N.
+  Status Validate() const;
+};
+
+/// Classic majority quorums: tolerates f failures with N = 2f+1.
+class MajorityQuorum : public QuorumSystem {
+ public:
+  explicit MajorityQuorum(size_t n) : n_(n) {}
+  size_t num_nodes() const override { return n_; }
+  size_t Phase1Size() const override { return n_ / 2 + 1; }
+  size_t Phase2Size() const override { return n_ / 2 + 1; }
+  std::string Name() const override { return "majority"; }
+
+ private:
+  size_t n_;
+};
+
+/// Flexible quorums with explicit sizes (must satisfy q1 + q2 > N).
+class FlexibleQuorum : public QuorumSystem {
+ public:
+  FlexibleQuorum(size_t n, size_t q1, size_t q2) : n_(n), q1_(q1), q2_(q2) {}
+  size_t num_nodes() const override { return n_; }
+  size_t Phase1Size() const override { return q1_; }
+  size_t Phase2Size() const override { return q2_; }
+  std::string Name() const override;
+
+ private:
+  size_t n_;
+  size_t q1_;
+  size_t q2_;
+};
+
+/// Counts distinct positive votes toward a quorum threshold and tracks
+/// negative votes (rejections) for early failure detection.
+class VoteTally {
+ public:
+  explicit VoteTally(size_t threshold) : threshold_(threshold) {}
+
+  /// Records a positive vote; duplicates are ignored. Returns true if this
+  /// vote (newly) satisfied the threshold.
+  bool Ack(NodeId node);
+
+  /// Records a rejection; duplicates ignored.
+  void Nack(NodeId node);
+
+  bool Passed() const { return acks_.size() >= threshold_; }
+  /// True once rejections make success impossible among `total` voters.
+  bool Doomed(size_t total) const {
+    return nacks_.size() > total - threshold_;
+  }
+
+  size_t ack_count() const { return acks_.size(); }
+  size_t nack_count() const { return nacks_.size(); }
+  size_t threshold() const { return threshold_; }
+  const std::set<NodeId>& acks() const { return acks_; }
+
+ private:
+  size_t threshold_;
+  std::set<NodeId> acks_;
+  std::set<NodeId> nacks_;
+};
+
+}  // namespace pig

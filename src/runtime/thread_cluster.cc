@@ -1,0 +1,239 @@
+#include "runtime/thread_cluster.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "common/logging.h"
+#include "consensus/client_messages.h"
+
+namespace pig::runtime {
+
+using std::chrono::steady_clock;
+
+struct ThreadCluster::Node {
+  NodeId id = kInvalidNode;
+  std::unique_ptr<Actor> actor;
+  std::unique_ptr<NodeEnv> env;
+  std::thread thread;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Mail> mailbox;
+  // timer id -> (deadline, callback)
+  std::map<TimerId, std::pair<TimeNs, std::function<void()>>> timers;
+  TimerId next_timer_id = 1;
+  ThreadCluster* cluster = nullptr;
+};
+
+class ThreadCluster::NodeEnv final : public Env {
+ public:
+  NodeEnv(ThreadCluster* cluster, Node* node, Rng rng)
+      : cluster_(cluster), node_(node), rng_(rng) {}
+
+  NodeId self() const override { return node_->id; }
+  TimeNs Now() const override { return cluster_->Now(); }
+
+  void Send(NodeId to, MessagePtr msg) override {
+    Node* dest = cluster_->FindNode(to);
+    if (dest == nullptr) return;
+    Mail mail{node_->id, EncodeMessage(*msg)};
+    {
+      std::lock_guard<std::mutex> lock(dest->mu);
+      dest->mailbox.push_back(std::move(mail));
+    }
+    dest->cv.notify_one();
+  }
+
+  TimerId SetTimer(TimeNs delay, std::function<void()> cb) override {
+    std::lock_guard<std::mutex> lock(node_->mu);
+    TimerId id = node_->next_timer_id++;
+    node_->timers.emplace(id,
+                          std::make_pair(Now() + delay, std::move(cb)));
+    node_->cv.notify_one();
+    return id;
+  }
+
+  void CancelTimer(TimerId id) override {
+    std::lock_guard<std::mutex> lock(node_->mu);
+    node_->timers.erase(id);
+  }
+
+  Rng& rng() override { return rng_; }
+
+ private:
+  ThreadCluster* cluster_;
+  Node* node_;
+  Rng rng_;
+};
+
+ThreadCluster::ThreadCluster(uint64_t seed)
+    : seed_(seed), epoch_(steady_clock::now()) {}
+
+ThreadCluster::~ThreadCluster() { Stop(); }
+
+void ThreadCluster::AddActor(NodeId id, std::unique_ptr<Actor> actor) {
+  assert(!running_.load());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->actor = std::move(actor);
+  node->cluster = this;
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (id + 1)));
+  node->env = std::make_unique<NodeEnv>(this, node.get(), rng);
+  node->actor->Bind(node->env.get());
+  order_.push_back(id);
+  nodes_.emplace(id, std::move(node));
+}
+
+ThreadCluster::Node* ThreadCluster::FindNode(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Actor* ThreadCluster::actor(NodeId id) {
+  Node* node = FindNode(id);
+  return node == nullptr ? nullptr : node->actor.get();
+}
+
+TimeNs ThreadCluster::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadCluster::Start() {
+  assert(!running_.load());
+  epoch_ = steady_clock::now();
+  running_.store(true);
+  for (NodeId id : order_) {
+    Node* node = nodes_[id].get();
+    node->thread = std::thread([this, node]() { ThreadMain(node); });
+  }
+}
+
+void ThreadCluster::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& [_, node] : nodes_) node->cv.notify_all();
+  for (auto& [_, node] : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+void ThreadCluster::ThreadMain(Node* node) {
+  node->actor->OnStart();
+  std::unique_lock<std::mutex> lock(node->mu);
+  while (running_.load()) {
+    // Fire due timers.
+    const TimeNs now = Now();
+    bool fired = false;
+    for (auto it = node->timers.begin(); it != node->timers.end();) {
+      if (it->second.first <= now) {
+        auto cb = std::move(it->second.second);
+        it = node->timers.erase(it);
+        lock.unlock();
+        cb();
+        lock.lock();
+        fired = true;
+        // Restart scan: the callback may have mutated the timer map.
+        it = node->timers.begin();
+      } else {
+        ++it;
+      }
+    }
+    if (fired) continue;
+
+    if (!node->mailbox.empty()) {
+      Mail mail = std::move(node->mailbox.front());
+      node->mailbox.pop_front();
+      lock.unlock();
+      MessagePtr msg;
+      Status s = DecodeMessage(mail.wire, &msg);
+      if (s.ok()) {
+        node->actor->OnMessage(mail.from, msg);
+      } else {
+        PIG_LOG(kError) << "node " << node->id
+                        << ": decode failed: " << s.ToString();
+      }
+      lock.lock();
+      continue;
+    }
+
+    // Sleep until the next timer or new mail.
+    TimeNs next = -1;
+    for (const auto& [_, t] : node->timers) {
+      if (next < 0 || t.first < next) next = t.first;
+    }
+    if (next < 0) {
+      node->cv.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      const TimeNs wait = next - Now();
+      if (wait > 0) {
+        node->cv.wait_for(lock, std::chrono::nanoseconds(wait));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void SyncClient::OnMessage(NodeId from, const MessagePtr& msg) {
+  (void)from;
+  if (msg->type() != MsgType::kClientReply) return;
+  const auto& reply = static_cast<const ClientReply&>(*msg);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reply.seq != seq_) return;
+  have_reply_ = true;
+  reply_code_ = reply.code;
+  reply_value_ = reply.value;
+  reply_hint_ = reply.leader_hint;
+  cv_.notify_all();
+}
+
+Result<std::string> SyncClient::Execute(OpType op, const std::string& key,
+                                        const std::string& value,
+                                        TimeNs timeout) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++seq_;
+    have_reply_ = false;
+  }
+  Command cmd;
+  cmd.op = op;
+  cmd.key = key;
+  cmd.value = value;
+  cmd.client = env_->self();
+  cmd.seq = seq;
+
+  for (;;) {
+    env_->Send(target_, std::make_shared<ClientRequest>(cmd));
+    std::unique_lock<std::mutex> lock(mu_);
+    // Per-attempt wait; overall bounded by the deadline.
+    if (!cv_.wait_until(lock, std::min(deadline,
+                                       std::chrono::steady_clock::now() +
+                                           std::chrono::milliseconds(200)),
+                        [this]() { return have_reply_; })) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::Timeout("no reply for " + key);
+      }
+      target_ = (target_ + 1) % num_replicas_;  // try another replica
+      continue;
+    }
+    if (reply_code_ == StatusCode::kNotLeader) {
+      have_reply_ = false;
+      target_ = reply_hint_ != kInvalidNode
+                    ? reply_hint_
+                    : (target_ + 1) % num_replicas_;
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (reply_code_ != StatusCode::kOk) {
+      return Status::Internal(std::string(StatusCodeName(reply_code_)));
+    }
+    return reply_value_;
+  }
+}
+
+}  // namespace pig::runtime

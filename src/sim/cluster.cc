@@ -1,0 +1,259 @@
+#include "sim/cluster.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace pig::sim {
+
+CpuModel DefaultReplicaCpu() {
+  // See harness/calibration.h: ~8us per message plus ~3us of vote
+  // tallying (PaxosOptions::vote_process_cost) puts the 25-node Paxos
+  // leader (≈50 msgs/request) at ≈2000 req/s, matching the paper's EC2
+  // measurements. Per-byte cost models serialization + NIC bandwidth.
+  CpuModel cpu;
+  cpu.send_base = 8 * kMicrosecond;
+  cpu.recv_base = 8 * kMicrosecond;
+  cpu.send_per_byte = 2.0;  // ns/byte  (~0.5 GB/s effective)
+  cpu.recv_per_byte = 2.0;
+  return cpu;
+}
+
+// ---------------------------------------------------------------------------
+
+struct PendingDelivery {
+  NodeId from;
+  MessagePtr msg;
+};
+
+struct Cluster::Node {
+  NodeId id = kInvalidNode;
+  std::unique_ptr<Actor> actor;
+  std::unique_ptr<NodeEnv> env;
+  CpuModel cpu;
+  bool is_client = false;
+  bool alive = true;
+
+  TimeNs busy_until = 0;
+  TimeNs busy_accum = 0;  // total busy time, for utilization reporting
+  std::deque<PendingDelivery> inbox;
+  bool drain_scheduled = false;
+  std::unordered_map<TimerId, EventId> timers;  // timer id -> event id
+};
+
+class Cluster::NodeEnv final : public Env {
+ public:
+  NodeEnv(Cluster* cluster, Node* node, Rng rng)
+      : cluster_(cluster), node_(node), rng_(rng) {}
+
+  NodeId self() const override { return node_->id; }
+  TimeNs Now() const override { return cluster_->scheduler_.now(); }
+
+  void Send(NodeId to, MessagePtr msg) override {
+    if (!node_->alive) return;
+    cluster_->SendFrom(*node_, to, std::move(msg));
+  }
+
+  TimerId SetTimer(TimeNs delay, std::function<void()> cb) override {
+    TimerId tid = next_timer_id_++;
+    Node* node = node_;
+    Cluster* cluster = cluster_;
+    EventId eid = cluster_->scheduler_.ScheduleAfter(
+        delay, [cluster, node, tid, cb = std::move(cb)]() {
+          node->timers.erase(tid);
+          if (!node->alive) return;
+          (void)cluster;
+          cb();
+        });
+    node_->timers.emplace(tid, eid);
+    return tid;
+  }
+
+  void CancelTimer(TimerId id) override {
+    auto it = node_->timers.find(id);
+    if (it == node_->timers.end()) return;
+    cluster_->scheduler_.Cancel(it->second);
+    node_->timers.erase(it);
+  }
+
+  Rng& rng() override { return rng_; }
+
+  void ChargeCpu(TimeNs cost) override {
+    if (cost <= 0) return;
+    TimeNs now = Now();
+    TimeNs start = std::max(node_->busy_until, now);
+    node_->busy_until = start + cost;
+    node_->busy_accum += cost;
+  }
+
+ private:
+  Cluster* cluster_;
+  Node* node_;
+  Rng rng_;
+  TimerId next_timer_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options),
+      network_(std::make_unique<net::Network>(options.network,
+                                              options.seed ^ 0x6e657477ull)),
+      master_rng_(options.seed) {}
+
+Cluster::~Cluster() = default;
+
+void Cluster::AddActor(NodeId id, std::unique_ptr<Actor> actor,
+                       bool is_client) {
+  assert(!started_);
+  assert(nodes_.find(id) == nodes_.end());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->actor = std::move(actor);
+  node->cpu = is_client ? options_.client_cpu : options_.replica_cpu;
+  node->is_client = is_client;
+  node->env = std::make_unique<NodeEnv>(this, node.get(), master_rng_.Fork());
+  node->actor->Bind(node->env.get());
+  (is_client ? client_ids_ : replica_ids_).push_back(id);
+  nodes_.emplace(id, std::move(node));
+}
+
+void Cluster::AddReplica(NodeId id, std::unique_ptr<Actor> actor) {
+  assert(!IsClientId(id));
+  AddActor(id, std::move(actor), /*is_client=*/false);
+}
+
+void Cluster::AddClient(NodeId id, std::unique_ptr<Actor> actor) {
+  assert(IsClientId(id));
+  AddActor(id, std::move(actor), /*is_client=*/true);
+}
+
+void Cluster::Start() {
+  assert(!started_);
+  started_ = true;
+  for (NodeId id : replica_ids_) nodes_[id]->actor->OnStart();
+  for (NodeId id : client_ids_) nodes_[id]->actor->OnStart();
+}
+
+Cluster::Node* Cluster::FindNode(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const Cluster::Node* Cluster::FindNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::SendFrom(Node& from, NodeId to, MessagePtr msg) {
+  assert(msg != nullptr);
+  const size_t bytes = msg->WireSize();
+
+  // Charge the sender's CPU; the message departs when the CPU reaches it.
+  TimeNs now = scheduler_.now();
+  TimeNs cost = from.cpu.SendCost(bytes);
+  TimeNs start = std::max(from.busy_until, now);
+  from.busy_until = start + cost;
+  from.busy_accum += cost;
+  TimeNs departure = from.busy_until;
+
+  std::optional<TimeNs> latency = network_->Transfer(from.id, to, bytes);
+  if (!latency.has_value()) return;  // dropped / partitioned
+
+  TimeNs arrival = departure + *latency;
+  NodeId from_id = from.id;
+  scheduler_.ScheduleAt(arrival, [this, from_id, to, msg = std::move(msg)]() {
+    Node* dest = FindNode(to);
+    if (dest == nullptr || !dest->alive) return;
+    network_->RecordDelivery(to, msg->WireSize());
+    EnqueueDelivery(*dest, from_id, std::move(const_cast<MessagePtr&>(msg)));
+  });
+}
+
+void Cluster::EnqueueDelivery(Node& node, NodeId from, MessagePtr msg) {
+  node.inbox.push_back(PendingDelivery{from, std::move(msg)});
+  if (!node.drain_scheduled) {
+    node.drain_scheduled = true;
+    TimeNs at = std::max(scheduler_.now(), node.busy_until);
+    NodeId id = node.id;
+    scheduler_.ScheduleAt(at, [this, id]() { Drain(id); });
+  }
+}
+
+void Cluster::Drain(NodeId id) {
+  Node* node = FindNode(id);
+  if (node == nullptr) return;
+  node->drain_scheduled = false;
+  if (!node->alive || node->inbox.empty()) return;
+
+  PendingDelivery item = std::move(node->inbox.front());
+  node->inbox.pop_front();
+
+  // Charge parse/dispatch cost, then run the handler. Sends inside the
+  // handler stack further CPU time onto busy_until.
+  TimeNs now = scheduler_.now();
+  TimeNs cost = node->cpu.RecvCost(item.msg->WireSize());
+  TimeNs start = std::max(node->busy_until, now);
+  node->busy_until = start + cost;
+  node->busy_accum += cost;
+
+  node->actor->OnMessage(item.from, item.msg);
+
+  if (!node->inbox.empty() && !node->drain_scheduled) {
+    node->drain_scheduled = true;
+    TimeNs at = std::max(scheduler_.now(), node->busy_until);
+    scheduler_.ScheduleAt(at, [this, id]() { Drain(id); });
+  }
+}
+
+void Cluster::Crash(NodeId id) {
+  Node* node = FindNode(id);
+  if (node == nullptr || !node->alive) return;
+  PIG_LOG(kInfo) << "crash node " << id << " at t=" << ToMillis(Now())
+                 << "ms";
+  node->alive = false;
+  node->inbox.clear();
+  for (auto& [tid, eid] : node->timers) scheduler_.Cancel(eid);
+  node->timers.clear();
+}
+
+void Cluster::Recover(NodeId id) {
+  Node* node = FindNode(id);
+  if (node == nullptr || node->alive) return;
+  PIG_LOG(kInfo) << "recover node " << id << " at t=" << ToMillis(Now())
+                 << "ms";
+  node->alive = true;
+  node->busy_until = scheduler_.now();
+  node->actor->OnStart();
+}
+
+bool Cluster::IsAlive(NodeId id) const {
+  const Node* node = FindNode(id);
+  return node != nullptr && node->alive;
+}
+
+void Cluster::CrashAt(TimeNs when, NodeId id) {
+  scheduler_.ScheduleAt(when, [this, id]() { Crash(id); });
+}
+
+void Cluster::RecoverAt(TimeNs when, NodeId id) {
+  scheduler_.ScheduleAt(when, [this, id]() { Recover(id); });
+}
+
+Actor* Cluster::actor(NodeId id) {
+  Node* node = FindNode(id);
+  return node == nullptr ? nullptr : node->actor.get();
+}
+
+double Cluster::CpuUtilization(NodeId id, TimeNs window) const {
+  const Node* node = FindNode(id);
+  if (node == nullptr || window <= 0) return 0.0;
+  return static_cast<double>(node->busy_accum) /
+         static_cast<double>(window);
+}
+
+void Cluster::ResetCpuStats() {
+  for (auto& [_, node] : nodes_) node->busy_accum = 0;
+}
+
+}  // namespace pig::sim

@@ -1,0 +1,57 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace pig::sim {
+
+EventId Scheduler::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  heap_.push(HeapItem{when, id});
+  bodies_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Scheduler::PopAndRun() {
+  while (!heap_.empty()) {
+    HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = bodies_.find(item.id);
+    if (it == bodies_.end()) continue;  // canceled
+    assert(item.time >= now_);
+    now_ = item.time;
+    std::function<void()> fn = std::move(it->second);
+    bodies_.erase(it);
+    executed_++;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::Step() { return PopAndRun(); }
+
+uint64_t Scheduler::RunUntil(TimeNs t) {
+  uint64_t ran = 0;
+  while (!heap_.empty()) {
+    // Peek for the next live event time without executing.
+    HeapItem item = heap_.top();
+    if (bodies_.find(item.id) == bodies_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (item.time > t) break;
+    PopAndRun();
+    ran++;
+  }
+  if (now_ < t) now_ = t;
+  return ran;
+}
+
+uint64_t Scheduler::RunAll() {
+  uint64_t ran = 0;
+  while (PopAndRun()) ran++;
+  return ran;
+}
+
+}  // namespace pig::sim

@@ -1,0 +1,74 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are closures ordered by (virtual time, insertion sequence), which
+// makes every run fully deterministic. Cancellation is supported for
+// timers; canceled events are dropped lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pig::sim {
+
+/// Identifier of a scheduled event (never 0).
+using EventId = uint64_t;
+
+class Scheduler {
+ public:
+  /// Current virtual time. Starts at 0.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (clamped to now()).
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if already fired or unknown.
+  void Cancel(EventId id) { bodies_.erase(id); }
+
+  /// Runs the next pending event. Returns false when none remain.
+  bool Step();
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  /// Returns the number of events executed.
+  uint64_t RunUntil(TimeNs t);
+
+  /// Runs for `d` of virtual time from now.
+  uint64_t RunFor(TimeNs d) { return RunUntil(now_ + d); }
+
+  /// Drains every pending event (use with care; timers may self-renew).
+  uint64_t RunAll();
+
+  bool empty() const { return bodies_.empty(); }
+  size_t pending() const { return bodies_.size(); }
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct HeapItem {
+    TimeNs time;
+    EventId id;
+    bool operator>(const HeapItem& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  /// Pops and runs the earliest live event; false if heap exhausted.
+  bool PopAndRun();
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> bodies_;
+};
+
+}  // namespace pig::sim

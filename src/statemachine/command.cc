@@ -1,0 +1,39 @@
+#include "statemachine/command.h"
+
+#include <cstdio>
+
+namespace pig {
+
+void Command::Encode(Encoder& enc) const {
+  enc.PutU8(static_cast<uint8_t>(op));
+  enc.PutBytes(key);
+  enc.PutBytes(value);
+  enc.PutU32(client);
+  enc.PutU64(seq);
+}
+
+Status Command::Decode(Decoder& dec, Command* out) {
+  uint8_t op = 0;
+  Status s = dec.GetU8(&op);
+  if (!s.ok()) return s;
+  if (op > static_cast<uint8_t>(OpType::kPut)) {
+    return Status::Corruption("bad op type");
+  }
+  out->op = static_cast<OpType>(op);
+  if (!(s = dec.GetBytes(&out->key)).ok()) return s;
+  if (!(s = dec.GetBytes(&out->value)).ok()) return s;
+  if (!(s = dec.GetU32(&out->client)).ok()) return s;
+  return dec.GetU64(&out->seq);
+}
+
+std::string Command::DebugString() const {
+  const char* name = op == OpType::kNoop ? "noop"
+                     : op == OpType::kGet ? "get"
+                                          : "put";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s(%s) c%u#%llu", name, key.c_str(),
+                client, static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+}  // namespace pig

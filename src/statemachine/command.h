@@ -1,0 +1,56 @@
+// Commands applied to the replicated state machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pig {
+
+/// Operation kind. kNoop fills log gaps during leader recovery.
+enum class OpType : uint8_t { kNoop = 0, kGet = 1, kPut = 2 };
+
+/// A single state-machine command, issued by `client` with a per-client
+/// monotonically increasing `seq` (used for reply matching and dedup).
+struct Command {
+  OpType op = OpType::kNoop;
+  std::string key;
+  std::string value;
+  NodeId client = kInvalidNode;
+  uint64_t seq = 0;
+
+  static Command Noop() { return Command{}; }
+  static Command Get(std::string key, NodeId client, uint64_t seq) {
+    return Command{OpType::kGet, std::move(key), "", client, seq};
+  }
+  static Command Put(std::string key, std::string value, NodeId client,
+                     uint64_t seq) {
+    return Command{OpType::kPut, std::move(key), std::move(value), client,
+                   seq};
+  }
+
+  bool IsNoop() const { return op == OpType::kNoop; }
+  bool IsWrite() const { return op == OpType::kPut; }
+
+  /// EPaxos-style interference: two commands conflict when they touch the
+  /// same key and at least one of them writes. Noops conflict with nothing.
+  bool ConflictsWith(const Command& other) const {
+    if (IsNoop() || other.IsNoop()) return false;
+    return key == other.key && (IsWrite() || other.IsWrite());
+  }
+
+  void Encode(Encoder& enc) const;
+  static Status Decode(Decoder& dec, Command* out);
+
+  std::string DebugString() const;
+
+  friend bool operator==(const Command& a, const Command& b) {
+    return a.op == b.op && a.key == b.key && a.value == b.value &&
+           a.client == b.client && a.seq == b.seq;
+  }
+};
+
+}  // namespace pig

@@ -1,0 +1,59 @@
+#include "statemachine/kvstore.h"
+
+namespace pig {
+
+std::string KvStore::Apply(const Command& cmd) {
+  applied_++;
+  switch (cmd.op) {
+    case OpType::kNoop:
+      return "";
+    case OpType::kGet: {
+      auto it = map_.find(cmd.key);
+      return it == map_.end() ? "" : it->second.value;
+    }
+    case OpType::kPut: {
+      Entry& e = map_[cmd.key];
+      e.value = cmd.value;
+      e.version++;
+      return "";
+    }
+  }
+  return "";
+}
+
+std::string KvStore::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? "" : it->second.value;
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  return map_.count(key) > 0;
+}
+
+uint64_t KvStore::VersionOf(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second.version;
+}
+
+std::map<std::string, std::string> KvStore::Dump() const {
+  std::map<std::string, std::string> out;
+  for (const auto& [k, v] : map_) out.emplace(k, v.value);
+  return out;
+}
+
+void KvStore::Restore(const std::map<std::string, std::string>& snapshot) {
+  map_.clear();
+  for (const auto& [k, v] : snapshot) {
+    map_[k] = Entry{v, 1};
+  }
+}
+
+void KvStore::Restore(
+    const std::vector<std::pair<std::string, std::string>>& snapshot) {
+  map_.clear();
+  for (const auto& [k, v] : snapshot) {
+    map_[k] = Entry{v, 1};
+  }
+}
+
+}  // namespace pig

@@ -1,0 +1,57 @@
+// In-memory key-value state machine (the Paxi benchmark store).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "statemachine/command.h"
+
+namespace pig {
+
+/// Deterministic state machine interface: replicas apply committed
+/// commands in log order; Apply returns the result sent back to clients.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one command and returns its result (value for Get, empty for
+  /// Put/Noop). Must be deterministic.
+  virtual std::string Apply(const Command& cmd) = 0;
+};
+
+/// Hash-map backed key-value store with per-key versions.
+class KvStore : public StateMachine {
+ public:
+  std::string Apply(const Command& cmd) override;
+
+  /// Point lookup outside the log path (used by quorum-read extension and
+  /// tests). Returns empty string when absent.
+  std::string Get(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+  uint64_t VersionOf(const std::string& key) const;
+
+  size_t size() const { return map_.size(); }
+  uint64_t applied_count() const { return applied_; }
+
+  /// Ordered dump for state comparison across replicas in tests.
+  std::map<std::string, std::string> Dump() const;
+
+  /// Installs a snapshot, replacing current contents.
+  void Restore(const std::map<std::string, std::string>& snapshot);
+  void Restore(
+      const std::vector<std::pair<std::string, std::string>>& snapshot);
+
+ private:
+  struct Entry {
+    std::string value;
+    uint64_t version = 0;
+  };
+  std::unordered_map<std::string, Entry> map_;
+  uint64_t applied_ = 0;
+};
+
+}  // namespace pig

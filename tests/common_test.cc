@@ -1,0 +1,262 @@
+// Unit tests for common/: Status/Result, codec, RNG, histogram, logging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/codec.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pig {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Timeout("no quorum");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsTimeout());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.ToString(), "Timeout: no quorum");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xab);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefull);
+  enc.PutI64(-12345);
+  enc.PutBool(true);
+
+  Decoder dec(enc.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  bool b = false;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  ASSERT_TRUE(dec.GetI64(&i64).ok());
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,    1,    127,        128,
+                             300,  1u << 20, 1ull << 40, ~0ull};
+  Encoder enc;
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.buffer());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(dec.GetVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, BytesRoundTrip) {
+  Encoder enc;
+  enc.PutBytes("hello");
+  enc.PutBytes("");
+  std::string big(100000, 'x');
+  enc.PutBytes(big);
+  Decoder dec(enc.buffer());
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetBytes(&a).ok());
+  ASSERT_TRUE(dec.GetBytes(&b).ok());
+  ASSERT_TRUE(dec.GetBytes(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, big);
+}
+
+TEST(CodecTest, UnderflowIsCorruption) {
+  Encoder enc;
+  enc.PutU32(7);
+  Decoder dec(enc.buffer());
+  uint64_t v;
+  EXPECT_EQ(dec.GetU64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, TruncatedBytesIsCorruption) {
+  Encoder enc;
+  enc.PutVarint(100);  // length prefix promising 100 bytes, none present
+  Decoder dec(enc.buffer());
+  std::string s;
+  EXPECT_EQ(dec.GetBytes(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, OverlongVarintIsCorruption) {
+  std::vector<uint8_t> buf(11, 0xff);
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_EQ(dec.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(12);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(14);
+  auto sample = rng.SampleIndices(10, 5);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 5u);
+  for (size_t i : sample) EXPECT_LT(i, 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(16);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.QuantileNs(0.5), 0);
+  EXPECT_EQ(h.MeanNs(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1 * kMillisecond);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1 * kMillisecond);
+  EXPECT_EQ(h.max(), 1 * kMillisecond);
+  EXPECT_NEAR(h.QuantileMillis(0.5), 1.0, 0.05);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h;
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<TimeNs>(rng.NextBounded(10 * kMillisecond)));
+  }
+  EXPECT_LE(h.QuantileNs(0.5), h.QuantileNs(0.9));
+  EXPECT_LE(h.QuantileNs(0.9), h.QuantileNs(0.99));
+  EXPECT_LE(h.QuantileNs(0.99), h.max());
+  // Uniform [0,10ms): median should be ~5ms within bucket error.
+  EXPECT_NEAR(h.QuantileMillis(0.5), 5.0, 0.3);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(1000);
+  b.Record(2000);
+  b.Record(3000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1000);
+  EXPECT_EQ(a.max(), 3000);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  Histogram h;
+  for (TimeNs v : {TimeNs{123456}, TimeNs{999999}, 5 * kMillisecond,
+                   2 * kSecond}) {
+    h.Reset();
+    h.Record(v);
+    TimeNs q = h.QuantileNs(1.0);
+    EXPECT_GE(q, v * 0.97);
+    EXPECT_LE(q, v);  // clamped to max
+  }
+}
+
+TEST(TypesTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ToMillis(1 * kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond), 2.0);
+  EXPECT_TRUE(IsClientId(kFirstClientId));
+  EXPECT_FALSE(IsClientId(24));
+}
+
+}  // namespace
+}  // namespace pig

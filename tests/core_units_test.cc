@@ -1,0 +1,306 @@
+// Unit tests for the remaining core pieces: ballots, commands and
+// conflicts, the KV store, quorum systems and tallies, workload
+// generation, the analytical bottleneck model, and the PQR coordinator.
+#include <gtest/gtest.h>
+
+#include "client/workload.h"
+#include "consensus/ballot.h"
+#include "model/bottleneck_model.h"
+#include "paxos/quorum_reads.h"
+#include "quorum/quorum.h"
+#include "statemachine/kvstore.h"
+
+namespace pig {
+namespace {
+
+// --- Ballot ----------------------------------------------------------
+
+TEST(BallotTest, OrderingByCounterThenNode) {
+  EXPECT_LT(Ballot(1, 5), Ballot(2, 0));
+  EXPECT_LT(Ballot(2, 0), Ballot(2, 1));
+  EXPECT_EQ(Ballot(3, 3), Ballot(3, 3));
+  EXPECT_GE(Ballot(3, 3), Ballot(3, 3));
+  EXPECT_GT(Ballot(4, 0), Ballot(3, 9));
+}
+
+TEST(BallotTest, NextIsStrictlyGreaterAndOwned) {
+  Ballot b(7, 2);
+  Ballot next = b.Next(5);
+  EXPECT_GT(next, b);
+  EXPECT_EQ(next.node, 5u);
+  // Next from a high-node ballot still beats it via the counter.
+  Ballot high(7, 9);
+  EXPECT_GT(high.Next(0), high);
+}
+
+TEST(BallotTest, ZeroIsSmallest) {
+  EXPECT_TRUE(Ballot::Zero().IsZero());
+  EXPECT_LT(Ballot::Zero(), Ballot(1, 0));
+}
+
+// --- Command ---------------------------------------------------------
+
+TEST(CommandTest, ConflictRules) {
+  Command w1 = Command::Put("k", "a", 1, 1);
+  Command w2 = Command::Put("k", "b", 2, 1);
+  Command r1 = Command::Get("k", 3, 1);
+  Command r2 = Command::Get("k", 4, 1);
+  Command other = Command::Put("j", "c", 5, 1);
+  Command noop = Command::Noop();
+
+  EXPECT_TRUE(w1.ConflictsWith(w2));   // write-write
+  EXPECT_TRUE(w1.ConflictsWith(r1));   // write-read
+  EXPECT_TRUE(r1.ConflictsWith(w1));   // read-write
+  EXPECT_FALSE(r1.ConflictsWith(r2));  // read-read
+  EXPECT_FALSE(w1.ConflictsWith(other));
+  EXPECT_FALSE(w1.ConflictsWith(noop));
+  EXPECT_FALSE(noop.ConflictsWith(noop));
+}
+
+// --- KvStore ---------------------------------------------------------
+
+TEST(KvStoreTest, PutGetApply) {
+  KvStore store;
+  EXPECT_EQ(store.Apply(Command::Put("a", "1", 1, 1)), "");
+  EXPECT_EQ(store.Apply(Command::Get("a", 1, 2)), "1");
+  EXPECT_EQ(store.Apply(Command::Get("missing", 1, 3)), "");
+  EXPECT_EQ(store.Apply(Command::Noop()), "");
+  EXPECT_EQ(store.applied_count(), 4u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, VersionsTrackWrites) {
+  KvStore store;
+  EXPECT_EQ(store.VersionOf("k"), 0u);
+  store.Apply(Command::Put("k", "1", 1, 1));
+  store.Apply(Command::Put("k", "2", 1, 2));
+  EXPECT_EQ(store.VersionOf("k"), 2u);
+  store.Apply(Command::Get("k", 1, 3));
+  EXPECT_EQ(store.VersionOf("k"), 2u);  // reads do not bump versions
+}
+
+TEST(KvStoreTest, DumpAndRestore) {
+  KvStore a;
+  a.Apply(Command::Put("x", "1", 1, 1));
+  a.Apply(Command::Put("y", "2", 1, 2));
+  KvStore b;
+  b.Apply(Command::Put("z", "gone", 1, 1));
+  b.Restore(a.Dump());
+  EXPECT_EQ(b.Get("x"), "1");
+  EXPECT_EQ(b.Get("y"), "2");
+  EXPECT_FALSE(b.Contains("z"));
+  EXPECT_EQ(a.Dump(), b.Dump());
+}
+
+TEST(KvStoreTest, RestoreFromPairs) {
+  KvStore store;
+  store.Restore(std::vector<std::pair<std::string, std::string>>{
+      {"p", "1"}, {"q", "2"}});
+  EXPECT_EQ(store.Get("q"), "2");
+  EXPECT_EQ(store.size(), 2u);
+}
+
+// --- Quorums ---------------------------------------------------------
+
+TEST(QuorumTest, MajoritySizes) {
+  for (auto [n, q] : std::vector<std::pair<size_t, size_t>>{
+           {1, 1}, {3, 2}, {5, 3}, {9, 5}, {25, 13}}) {
+    MajorityQuorum quorum(n);
+    EXPECT_EQ(quorum.Phase1Size(), q) << "n=" << n;
+    EXPECT_EQ(quorum.Phase2Size(), q) << "n=" << n;
+    EXPECT_TRUE(quorum.Validate().ok());
+  }
+}
+
+TEST(QuorumTest, FlexibleValidation) {
+  // The paper's §2.2 example: N=10, Q1=8, Q2=3.
+  EXPECT_TRUE(FlexibleQuorum(10, 8, 3).Validate().ok());
+  // Non-intersecting quorums rejected.
+  EXPECT_FALSE(FlexibleQuorum(10, 5, 5).Validate().ok());
+  EXPECT_FALSE(FlexibleQuorum(10, 0, 11).Validate().ok());
+  EXPECT_FALSE(FlexibleQuorum(10, 11, 3).Validate().ok());
+}
+
+TEST(VoteTallyTest, PassingAndDuplicates) {
+  VoteTally tally(3);
+  EXPECT_FALSE(tally.Ack(1));
+  EXPECT_FALSE(tally.Ack(1));  // duplicate ignored
+  EXPECT_FALSE(tally.Ack(2));
+  EXPECT_TRUE(tally.Ack(3));   // newly passed
+  EXPECT_FALSE(tally.Ack(4));  // already passed
+  EXPECT_TRUE(tally.Passed());
+  EXPECT_EQ(tally.ack_count(), 4u);
+}
+
+TEST(VoteTallyTest, DoomedDetection) {
+  VoteTally tally(3);  // of 4 voters
+  tally.Nack(1);
+  EXPECT_FALSE(tally.Doomed(4));
+  tally.Nack(2);
+  EXPECT_TRUE(tally.Doomed(4));  // only 2 possible acks remain
+}
+
+TEST(VoteTallyTest, NackOverridesAck) {
+  VoteTally tally(2);
+  tally.Ack(1);
+  tally.Nack(1);
+  EXPECT_EQ(tally.ack_count(), 0u);
+  EXPECT_FALSE(tally.Ack(1));  // nacked voters cannot ack
+}
+
+// --- Workload ---------------------------------------------------------
+
+TEST(WorkloadTest, KeysFixedWidthAndInRange) {
+  client::WorkloadGenerator gen(client::WorkloadConfig{});
+  EXPECT_EQ(gen.KeyAt(0).size(), 8u);
+  EXPECT_EQ(gen.KeyAt(999).size(), 8u);
+  EXPECT_EQ(gen.KeyAt(7), "k0000007");
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    Command cmd = gen.Next(kFirstClientId, i + 1, rng);
+    EXPECT_EQ(cmd.key.size(), 8u);
+    EXPECT_EQ(cmd.client, kFirstClientId);
+  }
+}
+
+TEST(WorkloadTest, ReadRatioRespected) {
+  client::WorkloadConfig cfg;
+  cfg.read_ratio = 0.25;
+  client::WorkloadGenerator gen(cfg);
+  Rng rng(4);
+  int reads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    reads += gen.Next(kFirstClientId, i, rng).op == OpType::kGet;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.25, 0.02);
+}
+
+TEST(WorkloadTest, PayloadSizeApplied) {
+  client::WorkloadConfig cfg;
+  cfg.read_ratio = 0.0;
+  cfg.payload_size = 1280;
+  client::WorkloadGenerator gen(cfg);
+  Rng rng(5);
+  Command cmd = gen.Next(kFirstClientId, 1, rng);
+  EXPECT_EQ(cmd.value.size(), 1280u);
+}
+
+TEST(WorkloadTest, UniformKeyDistribution) {
+  client::WorkloadConfig cfg;
+  cfg.num_keys = 10;
+  client::WorkloadGenerator gen(cfg);
+  Rng rng(6);
+  std::map<std::string, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[gen.Next(1, i, rng).key]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (auto& [_, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+// --- Analytical model (paper §6.1, Tables 1-2) -------------------------
+
+TEST(ModelTest, Table1Values) {
+  // r=2: 6 / 3.83 / 56%; r=6: 14 / 3.5 / 300%; Paxos: 50 / 2 / 2400%.
+  auto l2 = model::PigPaxosLoad(25, 2);
+  EXPECT_DOUBLE_EQ(l2.leader, 6.0);
+  EXPECT_NEAR(l2.follower, 3.83, 0.01);
+  EXPECT_NEAR(l2.LeaderOverheadPercent(), 56, 1);
+
+  auto l6 = model::PigPaxosLoad(25, 6);
+  EXPECT_DOUBLE_EQ(l6.leader, 14.0);
+  EXPECT_NEAR(l6.follower, 3.50, 0.01);
+  EXPECT_NEAR(l6.LeaderOverheadPercent(), 300, 1);
+
+  auto paxos = model::PaxosLoad(25);
+  EXPECT_DOUBLE_EQ(paxos.leader, 50.0);
+  EXPECT_DOUBLE_EQ(paxos.follower, 2.0);
+  EXPECT_NEAR(paxos.LeaderOverheadPercent(), 2400, 1);
+}
+
+TEST(ModelTest, Table2Values) {
+  auto l2 = model::PigPaxosLoad(9, 2);
+  EXPECT_DOUBLE_EQ(l2.leader, 6.0);
+  EXPECT_DOUBLE_EQ(l2.follower, 3.5);
+  EXPECT_NEAR(l2.LeaderOverheadPercent(), 71, 1);
+  auto l4 = model::PigPaxosLoad(9, 4);
+  EXPECT_DOUBLE_EQ(l4.leader, 10.0);
+  EXPECT_DOUBLE_EQ(l4.follower, 3.0);
+  EXPECT_NEAR(l4.LeaderOverheadPercent(), 233, 1);
+  auto paxos = model::PaxosLoad(9);
+  EXPECT_DOUBLE_EQ(paxos.leader, 18.0);
+  EXPECT_NEAR(paxos.LeaderOverheadPercent(), 800, 1);
+}
+
+TEST(ModelTest, FollowerLoadLimitApproaches4) {
+  // §6.3: with r=1, follower load tends to 4 = minimal leader load, so
+  // the leader never stops being the bottleneck.
+  EXPECT_NEAR(model::FollowerLoadLimit(1000), 4.0, 0.01);
+  EXPECT_LT(model::FollowerLoadLimit(10), 4.0);
+  double prev = 0;
+  for (size_t n : {5u, 10u, 100u, 10000u}) {
+    double cur = model::FollowerLoadLimit(n);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_LT(prev, 4.0);
+}
+
+TEST(ModelTest, TableGeneration) {
+  auto rows = model::MessageLoadTable(25, {2, 3, 4, 5, 6});
+  ASSERT_EQ(rows.size(), 6u);  // 5 pig rows + paxos
+  EXPECT_EQ(rows.back().label, "24 (Paxos)");
+  EXPECT_EQ(rows.back().relay_groups, 24u);
+}
+
+// --- PQR coordinator ---------------------------------------------------
+
+paxos::QuorumReadReply MakeReply(NodeId sender, uint64_t read_id,
+                                 const std::string& value, SlotId slot,
+                                 bool pending) {
+  paxos::QuorumReadReply r;
+  r.sender = sender;
+  r.read_id = read_id;
+  r.value = value;
+  r.version_slot = slot;
+  r.pending_write = pending;
+  return r;
+}
+
+TEST(QuorumReadTest, CompletesAtMajorityWithFreshestValue) {
+  paxos::QuorumReadCoordinator coord(5, 1);  // quorum 3
+  EXPECT_FALSE(coord.OnReply(MakeReply(1, 1, "old", 5, false)));
+  EXPECT_FALSE(coord.OnReply(MakeReply(2, 1, "new", 9, false)));
+  EXPECT_TRUE(coord.OnReply(MakeReply(3, 1, "older", 2, false)));
+  EXPECT_TRUE(coord.done());
+  EXPECT_EQ(coord.value(), "new");
+}
+
+TEST(QuorumReadTest, PendingWriteForcesRinse) {
+  paxos::QuorumReadCoordinator coord(5, 2);
+  EXPECT_FALSE(coord.OnReply(MakeReply(1, 2, "a", 5, false)));
+  EXPECT_FALSE(coord.OnReply(MakeReply(2, 2, "a", 5, true)));
+  EXPECT_FALSE(coord.OnReply(MakeReply(3, 2, "a", 5, false)));
+  EXPECT_FALSE(coord.done());
+  EXPECT_TRUE(coord.needs_rinse());
+}
+
+TEST(QuorumReadTest, IgnoresWrongReadIdAndDuplicates) {
+  paxos::QuorumReadCoordinator coord(3, 7);  // quorum 2
+  EXPECT_FALSE(coord.OnReply(MakeReply(1, 99, "x", 1, false)));  // wrong id
+  EXPECT_FALSE(coord.OnReply(MakeReply(1, 7, "a", 1, false)));
+  EXPECT_FALSE(coord.OnReply(MakeReply(1, 7, "a", 1, false)));  // dup sender
+  EXPECT_TRUE(coord.OnReply(MakeReply(2, 7, "a", 1, false)));
+}
+
+TEST(QuorumReadTest, NeverWrittenKeyReadsEmpty) {
+  paxos::QuorumReadCoordinator coord(3, 1);
+  coord.OnReply(MakeReply(1, 1, "", kInvalidSlot, false));
+  EXPECT_TRUE(coord.OnReply(MakeReply(2, 1, "", kInvalidSlot, false)));
+  EXPECT_EQ(coord.value(), "");
+}
+
+}  // namespace
+}  // namespace pig

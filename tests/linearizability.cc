@@ -1,0 +1,107 @@
+#include "linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace pig::test {
+
+namespace {
+struct WriteInfo {
+  TimeNs invoked = 0;
+  TimeNs completed = 0;
+};
+}  // namespace
+
+std::string CheckLinearizability(const std::vector<HistoryOp>& history) {
+  // Index writes by (key, value); write values must be unique per key.
+  std::map<std::pair<std::string, std::string>, WriteInfo> writes;
+  std::unordered_map<std::string, std::vector<WriteInfo>> writes_by_key;
+  for (const HistoryOp& op : history) {
+    if (op.is_read) continue;
+    auto key = std::make_pair(op.key, op.value);
+    if (writes.count(key)) {
+      return "duplicate write value '" + op.value + "' for key '" +
+             op.key + "' — history not checkable";
+    }
+    writes[key] = WriteInfo{op.invoked, op.completed};
+    writes_by_key[op.key].push_back(WriteInfo{op.invoked, op.completed});
+  }
+
+  std::ostringstream err;
+  // Track, per (client, key), the write the client last observed.
+  std::map<std::pair<NodeId, std::string>, WriteInfo> last_seen;
+
+  // Process reads in completion order for the monotonicity rule.
+  std::vector<const HistoryOp*> reads;
+  for (const HistoryOp& op : history) {
+    if (op.is_read) reads.push_back(&op);
+  }
+  std::sort(reads.begin(), reads.end(),
+            [](const HistoryOp* a, const HistoryOp* b) {
+              return a->completed < b->completed;
+            });
+
+  for (const HistoryOp* read : reads) {
+    if (read->value.empty()) {
+      // Initial value: legal unless some write to the key completed
+      // before this read was invoked (then the read is stale).
+      for (const WriteInfo& w : writes_by_key[read->key]) {
+        if (w.completed < read->invoked) {
+          err << "read of key '" << read->key << "' at t="
+              << read->invoked << " returned the initial value although a "
+              << "write completed at t=" << w.completed;
+          return err.str();
+        }
+      }
+      continue;
+    }
+
+    auto it = writes.find({read->key, read->value});
+    if (it == writes.end()) {
+      err << "read of key '" << read->key << "' returned value '"
+          << read->value << "' that no client ever wrote";
+      return err.str();
+    }
+    const WriteInfo& w1 = it->second;
+
+    // Rule 1: cannot read a write invoked after the read completed.
+    if (w1.invoked > read->completed) {
+      err << "read of key '" << read->key << "' completed at t="
+          << read->completed << " returned a write invoked later at t="
+          << w1.invoked;
+      return err.str();
+    }
+
+    // Rule 2: no stale reads across strict real-time write chains.
+    for (const WriteInfo& w2 : writes_by_key[read->key]) {
+      if (w1.completed < w2.invoked && w2.completed < read->invoked) {
+        err << "stale read of key '" << read->key << "': returned a write "
+            << "completed at t=" << w1.completed
+            << " although a later write (invoked t=" << w2.invoked
+            << ", completed t=" << w2.completed
+            << ") finished before the read started at t=" << read->invoked;
+        return err.str();
+      }
+    }
+
+    // Rule 3: per-client monotonicity.
+    auto key = std::make_pair(read->client, read->key);
+    auto seen = last_seen.find(key);
+    if (seen != last_seen.end()) {
+      const WriteInfo& prev = seen->second;
+      // Going backwards = now observing a write that strictly precedes
+      // the previously observed one in real time.
+      if (w1.completed < prev.invoked) {
+        err << "client " << read->client << " observed key '" << read->key
+            << "' go backwards in time";
+        return err.str();
+      }
+    }
+    last_seen[key] = w1;
+  }
+  return "";
+}
+
+}  // namespace pig::test

@@ -1,0 +1,38 @@
+// A sound (no-false-positive) linearizability checker for key-value
+// histories with uniquely-valued writes.
+//
+// Full linearizability checking is NP-hard; with unique write values we
+// can efficiently verify the real-time axioms that protocols actually
+// violate when they are buggy:
+//   1. Reads-from-valid-write: a read's value must come from a write that
+//      was invoked before the read completed (no reading the future), or
+//      be the initial empty value.
+//   2. No stale reads: a read must not return a write w1 when another
+//      write w2 to the same key satisfies w1 -> w2 -> read in strict
+//      real-time order (w1 completed before w2 was invoked, and w2
+//      completed before the read was invoked).
+//   3. Per-client monotonicity: successive reads by one client on a key
+//      never go backwards in the real-time write order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pig::test {
+
+struct HistoryOp {
+  NodeId client = kInvalidNode;
+  bool is_read = false;
+  std::string key;
+  std::string value;  // value written, or value returned by the read
+  TimeNs invoked = 0;
+  TimeNs completed = 0;
+};
+
+/// Returns an empty string when no violation is found, otherwise a
+/// human-readable description of the first violation.
+std::string CheckLinearizability(const std::vector<HistoryOp>& history);
+
+}  // namespace pig::test

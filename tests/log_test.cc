@@ -1,0 +1,183 @@
+// Unit tests for the replicated log: accept/overwrite rules, commit and
+// execution cursors, gap handling, compaction, snapshot fast-forward.
+#include <gtest/gtest.h>
+
+#include "log/replicated_log.h"
+
+namespace pig {
+namespace {
+
+Command Cmd(const std::string& key, uint64_t seq = 1) {
+  return Command::Put(key, "v", kFirstClientId, seq);
+}
+
+TEST(LogTest, StartsEmpty) {
+  ReplicatedLog log;
+  EXPECT_EQ(log.first_slot(), 0);
+  EXPECT_EQ(log.last_slot(), -1);
+  EXPECT_EQ(log.NextEmptySlot(), 0);
+  EXPECT_EQ(log.ContiguousCommitIndex(), kInvalidSlot);
+  EXPECT_FALSE(log.NextExecutable().has_value());
+}
+
+TEST(LogTest, AcceptAndGet) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.Accept(0, Ballot(1, 0), Cmd("a")).ok());
+  ASSERT_TRUE(log.Has(0));
+  const LogEntry* e = log.Get(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->command.key, "a");
+  EXPECT_FALSE(e->committed);
+  EXPECT_EQ(log.NextEmptySlot(), 1);
+}
+
+TEST(LogTest, AcceptOutOfOrderCreatesGaps) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.Accept(5, Ballot(1, 0), Cmd("e")).ok());
+  EXPECT_EQ(log.last_slot(), 5);
+  EXPECT_FALSE(log.Has(3));
+  EXPECT_EQ(log.NextEmptySlot(), 0);
+}
+
+TEST(LogTest, HigherBallotOverwritesUncommitted) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.Accept(0, Ballot(1, 0), Cmd("old")).ok());
+  ASSERT_TRUE(log.Accept(0, Ballot(2, 1), Cmd("new")).ok());
+  EXPECT_EQ(log.Get(0)->command.key, "new");
+  EXPECT_EQ(log.Get(0)->ballot, Ballot(2, 1));
+}
+
+TEST(LogTest, LowerBallotDoesNotOverwrite) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.Accept(0, Ballot(5, 0), Cmd("keep")).ok());
+  ASSERT_TRUE(log.Accept(0, Ballot(2, 1), Cmd("stale")).ok());
+  EXPECT_EQ(log.Get(0)->command.key, "keep");
+}
+
+TEST(LogTest, CommittedSlotRejectsConflictingOverwrite) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.Accept(0, Ballot(1, 0), Cmd("chosen")).ok());
+  ASSERT_TRUE(log.Commit(0).ok());
+  // Same command: fine (idempotent re-accept).
+  EXPECT_TRUE(log.Accept(0, Ballot(2, 1), Cmd("chosen")).ok());
+  // Different command: would be a safety violation.
+  EXPECT_TRUE(log.Accept(0, Ballot(3, 1), Cmd("other")).IsAborted());
+  EXPECT_EQ(log.Get(0)->command.key, "chosen");
+}
+
+TEST(LogTest, CommitUnknownSlotFails) {
+  ReplicatedLog log;
+  EXPECT_EQ(log.Commit(3).code(), StatusCode::kNotFound);
+}
+
+TEST(LogTest, CommitWithCommandFillsGap) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.CommitWithCommand(2, Ballot(1, 0), Cmd("filled")).ok());
+  EXPECT_TRUE(log.Get(2)->committed);
+  // Conflicting re-commit fails.
+  EXPECT_TRUE(
+      log.CommitWithCommand(2, Ballot(2, 0), Cmd("different")).IsAborted());
+}
+
+TEST(LogTest, ContiguousCommitIndexStopsAtGap) {
+  ReplicatedLog log;
+  for (SlotId s : {0, 1, 3}) {
+    ASSERT_TRUE(log.Accept(s, Ballot(1, 0), Cmd("k")).ok());
+    ASSERT_TRUE(log.Commit(s).ok());
+  }
+  EXPECT_EQ(log.ContiguousCommitIndex(), 1);  // slot 2 missing
+  ASSERT_TRUE(log.Accept(2, Ballot(1, 0), Cmd("k2")).ok());
+  EXPECT_EQ(log.ContiguousCommitIndex(), 1);  // accepted but uncommitted
+  ASSERT_TRUE(log.Commit(2).ok());
+  EXPECT_EQ(log.ContiguousCommitIndex(), 3);
+}
+
+TEST(LogTest, ExecutionInOrder) {
+  ReplicatedLog log;
+  for (SlotId s = 0; s < 3; ++s) {
+    ASSERT_TRUE(log.Accept(s, Ballot(1, 0), Cmd("k", s)).ok());
+  }
+  ASSERT_TRUE(log.Commit(1).ok());  // out of order commit
+  EXPECT_FALSE(log.NextExecutable().has_value());
+  ASSERT_TRUE(log.Commit(0).ok());
+  ASSERT_EQ(log.NextExecutable().value(), 0);
+  log.MarkExecuted(0);
+  ASSERT_EQ(log.NextExecutable().value(), 1);
+  log.MarkExecuted(1);
+  EXPECT_FALSE(log.NextExecutable().has_value());
+  EXPECT_EQ(log.executed_upto(), 1);
+}
+
+TEST(LogTest, CompactionDropsExecutedPrefix) {
+  ReplicatedLog log;
+  for (SlotId s = 0; s < 10; ++s) {
+    ASSERT_TRUE(log.Accept(s, Ballot(1, 0), Cmd("k", s)).ok());
+    ASSERT_TRUE(log.Commit(s).ok());
+    log.MarkExecuted(s);
+  }
+  ASSERT_TRUE(log.CompactUpTo(6).ok());
+  EXPECT_EQ(log.first_slot(), 7);
+  EXPECT_FALSE(log.Has(6));
+  EXPECT_TRUE(log.Has(7));
+  EXPECT_EQ(log.size_in_memory(), 3u);
+  // Compacting unexecuted slots is refused.
+  ASSERT_TRUE(log.Accept(10, Ballot(1, 0), Cmd("k", 10)).ok());
+  EXPECT_FALSE(log.CompactUpTo(10).ok());
+}
+
+TEST(LogTest, AcceptBelowCompactionIsIgnoredOk) {
+  ReplicatedLog log;
+  for (SlotId s = 0; s < 5; ++s) {
+    ASSERT_TRUE(log.Accept(s, Ballot(1, 0), Cmd("k", s)).ok());
+    ASSERT_TRUE(log.Commit(s).ok());
+    log.MarkExecuted(s);
+  }
+  ASSERT_TRUE(log.CompactUpTo(4).ok());
+  EXPECT_TRUE(log.Accept(2, Ballot(9, 1), Cmd("late")).ok());
+  EXPECT_TRUE(log.Commit(2).ok());
+  EXPECT_FALSE(log.Has(2));
+}
+
+TEST(LogTest, RangeSkipsGapsAndRespectsBounds) {
+  ReplicatedLog log;
+  for (SlotId s : {1, 2, 5}) {
+    ASSERT_TRUE(log.Accept(s, Ballot(1, 0), Cmd("k", s)).ok());
+  }
+  auto range = log.Range(0, 10);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].first, 1);
+  EXPECT_EQ(range[2].first, 5);
+  EXPECT_TRUE(log.Range(6, 100).empty());
+  EXPECT_TRUE(log.Range(3, 4).empty());
+}
+
+TEST(LogTest, FastForwardInstallsSnapshotPoint) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.Accept(0, Ballot(1, 0), Cmd("old")).ok());
+  ASSERT_TRUE(log.Accept(100, Ballot(1, 0), Cmd("future")).ok());
+  log.FastForwardTo(50);
+  EXPECT_EQ(log.executed_upto(), 50);
+  EXPECT_EQ(log.first_slot(), 51);
+  EXPECT_FALSE(log.Has(0));
+  EXPECT_TRUE(log.Has(100));  // entries above the snapshot survive
+  // Fast-forward never moves backwards.
+  log.FastForwardTo(20);
+  EXPECT_EQ(log.executed_upto(), 50);
+}
+
+TEST(LogTest, FastForwardThenNormalOperation) {
+  ReplicatedLog log;
+  log.FastForwardTo(99);
+  ASSERT_TRUE(log.CommitWithCommand(100, Ballot(2, 1), Cmd("next")).ok());
+  ASSERT_EQ(log.NextExecutable().value(), 100);
+  log.MarkExecuted(100);
+  EXPECT_EQ(log.executed_upto(), 100);
+}
+
+TEST(LogTest, NegativeSlotRejected) {
+  ReplicatedLog log;
+  EXPECT_FALSE(log.Accept(-3, Ballot(1, 0), Cmd("bad")).ok());
+}
+
+}  // namespace
+}  // namespace pig

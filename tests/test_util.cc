@@ -1,0 +1,32 @@
+#include "test_util.h"
+
+#include <sstream>
+
+namespace pig::test {
+
+std::string CheckLogConsistency(sim::Cluster& cluster, size_t n) {
+  std::ostringstream problems;
+  // Pairwise compare committed entries in overlapping slot ranges.
+  for (NodeId a = 0; a < n; ++a) {
+    const auto& la = PaxosAt(cluster, a)->log();
+    for (NodeId b = a + 1; b < n; ++b) {
+      const auto& lb = PaxosAt(cluster, b)->log();
+      const SlotId lo = std::max(la.first_slot(), lb.first_slot());
+      const SlotId hi = std::min(la.last_slot(), lb.last_slot());
+      for (SlotId s = lo; s <= hi; ++s) {
+        const LogEntry* ea = la.Get(s);
+        const LogEntry* eb = lb.Get(s);
+        if (ea == nullptr || eb == nullptr) continue;
+        if (ea->committed && eb->committed &&
+            !(ea->command == eb->command)) {
+          problems << "slot " << s << ": replica " << a << " committed "
+                   << ea->command.DebugString() << " but replica " << b
+                   << " committed " << eb->command.DebugString() << "\n";
+        }
+      }
+    }
+  }
+  return problems.str();
+}
+
+}  // namespace pig::test

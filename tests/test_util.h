@@ -1,0 +1,136 @@
+// Shared helpers for protocol tests on the simulator.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "consensus/client_messages.h"
+#include "consensus/env.h"
+#include "epaxos/replica.h"
+#include "paxos/replica.h"
+#include "pigpaxos/replica.h"
+#include "sim/cluster.h"
+
+namespace pig::test {
+
+/// A scriptable client actor: the test body calls Put/Get after
+/// cluster.Start() and inspects `replies` after running the simulator.
+class Prober : public Actor {
+ public:
+  struct Reply {
+    uint64_t seq;
+    StatusCode code;
+    std::string value;
+    NodeId leader_hint;
+    TimeNs at;
+  };
+
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    (void)from;
+    if (msg->type() != MsgType::kClientReply) return;
+    const auto& r = static_cast<const ClientReply&>(*msg);
+    replies.push_back(
+        Reply{r.seq, r.code, r.value, r.leader_hint, env_->Now()});
+  }
+
+  uint64_t Put(NodeId target, const std::string& key,
+               const std::string& value) {
+    Command cmd = Command::Put(key, value, env_->self(), ++seq_);
+    env_->Send(target, std::make_shared<ClientRequest>(cmd));
+    return seq_;
+  }
+
+  uint64_t Get(NodeId target, const std::string& key) {
+    Command cmd = Command::Get(key, env_->self(), ++seq_);
+    env_->Send(target, std::make_shared<ClientRequest>(cmd));
+    return seq_;
+  }
+
+  /// Re-sends an already-issued command (same seq) — dedup testing.
+  void Resend(NodeId target, const Command& cmd) {
+    env_->Send(target, std::make_shared<ClientRequest>(cmd));
+  }
+
+  const Reply* FindReply(uint64_t seq) const {
+    for (const auto& r : replies) {
+      if (r.seq == seq && r.code == StatusCode::kOk) return &r;
+    }
+    return nullptr;
+  }
+
+  size_t OkCount() const {
+    size_t n = 0;
+    for (const auto& r : replies) n += (r.code == StatusCode::kOk);
+    return n;
+  }
+
+  std::vector<Reply> replies;
+
+ private:
+  uint64_t seq_ = 0;
+};
+
+/// Builds a Paxos cluster with `n` replicas plus one Prober client.
+/// Returns the prober; replicas are cluster.actor(i).
+inline Prober* MakePaxosCluster(sim::Cluster& cluster, size_t n,
+                                paxos::PaxosOptions opt = {}) {
+  opt.num_replicas = n;
+  for (NodeId i = 0; i < n; ++i) {
+    cluster.AddReplica(i, std::make_unique<paxos::PaxosReplica>(i, opt));
+  }
+  auto prober = std::make_unique<Prober>();
+  Prober* p = prober.get();
+  cluster.AddClient(sim::Cluster::MakeClientId(0), std::move(prober));
+  return p;
+}
+
+inline Prober* MakePigCluster(sim::Cluster& cluster, size_t n,
+                              pigpaxos::PigPaxosOptions opt = {}) {
+  opt.paxos.num_replicas = n;
+  for (NodeId i = 0; i < n; ++i) {
+    cluster.AddReplica(i,
+                       std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
+  }
+  auto prober = std::make_unique<Prober>();
+  Prober* p = prober.get();
+  cluster.AddClient(sim::Cluster::MakeClientId(0), std::move(prober));
+  return p;
+}
+
+inline Prober* MakeEPaxosCluster(sim::Cluster& cluster, size_t n,
+                                 epaxos::EPaxosOptions opt = {}) {
+  opt.num_replicas = n;
+  for (NodeId i = 0; i < n; ++i) {
+    cluster.AddReplica(i, std::make_unique<epaxos::EPaxosReplica>(i, opt));
+  }
+  auto prober = std::make_unique<Prober>();
+  Prober* p = prober.get();
+  cluster.AddClient(sim::Cluster::MakeClientId(0), std::move(prober));
+  return p;
+}
+
+inline const paxos::PaxosReplica* PaxosAt(sim::Cluster& cluster, NodeId id) {
+  return static_cast<const paxos::PaxosReplica*>(cluster.actor(id));
+}
+
+inline const epaxos::EPaxosReplica* EPaxosAt(sim::Cluster& cluster,
+                                             NodeId id) {
+  return static_cast<const epaxos::EPaxosReplica*>(cluster.actor(id));
+}
+
+/// Finds the current leader among `n` Paxos/PigPaxos replicas, or
+/// kInvalidNode.
+inline NodeId FindLeader(sim::Cluster& cluster, size_t n) {
+  for (NodeId i = 0; i < n; ++i) {
+    if (cluster.IsAlive(i) && PaxosAt(cluster, i)->IsLeader()) return i;
+  }
+  return kInvalidNode;
+}
+
+/// Asserts the paper's core safety property: no two replicas executed
+/// different commands for the same slot, and all stores agree on the
+/// common executed prefix. Returns an empty string when consistent.
+std::string CheckLogConsistency(sim::Cluster& cluster, size_t n);
+
+}  // namespace pig::test

@@ -1,0 +1,360 @@
+// Wire-format tests: encode/decode round trips for every message type in
+// the library, wire-size accounting, and robustness against truncated or
+// corrupted input (a malformed message must return Corruption, never
+// crash or loop).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "consensus/client_messages.h"
+#include "epaxos/messages.h"
+#include "paxos/messages.h"
+#include "paxos/quorum_reads.h"
+#include "pigpaxos/messages.h"
+
+namespace pig {
+namespace {
+
+class WireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterCommonMessages();
+    paxos::RegisterPaxosMessages();
+    pigpaxos::RegisterPigPaxosMessages();
+    epaxos::RegisterEPaxosMessages();
+  }
+
+  /// Encodes, decodes, re-encodes and requires byte-identical output.
+  static MessagePtr RoundTrip(const Message& msg) {
+    std::vector<uint8_t> wire = EncodeMessage(msg);
+    EXPECT_EQ(wire.size(), msg.WireSize());
+    MessagePtr out;
+    Status s = DecodeMessage(wire, &out);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (!s.ok()) return nullptr;
+    EXPECT_EQ(out->type(), msg.type());
+    EXPECT_EQ(EncodeMessage(*out), wire) << "re-encode mismatch";
+    return out;
+  }
+
+  /// Every strict prefix of the wire must fail cleanly.
+  static void CheckTruncations(const Message& msg) {
+    std::vector<uint8_t> wire = EncodeMessage(msg);
+    for (size_t len = 0; len < wire.size(); ++len) {
+      MessagePtr out;
+      Status s = DecodeMessage(wire.data(), len, &out);
+      EXPECT_FALSE(s.ok()) << "truncation to " << len << " decoded";
+    }
+  }
+};
+
+TEST_F(WireTest, ClientRequestRoundTrip) {
+  ClientRequest msg(Command::Put("key", "value", kFirstClientId + 3, 77));
+  auto out = RoundTrip(msg);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const ClientRequest&>(*out);
+  EXPECT_EQ(got.cmd, msg.cmd);
+}
+
+TEST_F(WireTest, ClientReplyRoundTrip) {
+  ClientReply msg;
+  msg.seq = 12;
+  msg.code = StatusCode::kNotLeader;
+  msg.value = "hello";
+  msg.leader_hint = 4;
+  msg.slot = 991;
+  auto out = RoundTrip(msg);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const ClientReply&>(*out);
+  EXPECT_EQ(got.seq, 12u);
+  EXPECT_EQ(got.code, StatusCode::kNotLeader);
+  EXPECT_EQ(got.value, "hello");
+  EXPECT_EQ(got.leader_hint, 4u);
+  EXPECT_EQ(got.slot, 991);
+}
+
+TEST_F(WireTest, HeartbeatRoundTrip) {
+  Heartbeat msg;
+  msg.ballot = Ballot(9, 2);
+  msg.commit_index = 1234;
+  auto out = RoundTrip(msg);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const Heartbeat&>(*out);
+  EXPECT_EQ(got.ballot, Ballot(9, 2));
+  EXPECT_EQ(got.commit_index, 1234);
+}
+
+TEST_F(WireTest, P1aP1bRoundTrip) {
+  paxos::P1a p1a;
+  p1a.ballot = Ballot(3, 1);
+  p1a.commit_index = 10;
+  RoundTrip(p1a);
+
+  paxos::P1b p1b;
+  p1b.sender = 7;
+  p1b.ballot = Ballot(3, 1);
+  p1b.ok = true;
+  p1b.commit_index = 9;
+  p1b.entries.push_back(paxos::AcceptedEntry{
+      11, Ballot(2, 0), Command::Put("a", "b", kFirstClientId, 5), true});
+  p1b.entries.push_back(paxos::AcceptedEntry{
+      12, Ballot(3, 1), Command::Noop(), false});
+  auto out = RoundTrip(p1b);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const paxos::P1b&>(*out);
+  ASSERT_EQ(got.entries.size(), 2u);
+  EXPECT_EQ(got.entries[0].slot, 11);
+  EXPECT_TRUE(got.entries[0].committed);
+  EXPECT_EQ(got.entries[1].command, Command::Noop());
+}
+
+TEST_F(WireTest, P2aP2bP3RoundTrip) {
+  paxos::P2a p2a;
+  p2a.ballot = Ballot(5, 0);
+  p2a.slot = 42;
+  p2a.command = Command::Get("key", kFirstClientId, 3);
+  p2a.commit_index = 41;
+  auto out = RoundTrip(p2a);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(static_cast<const paxos::P2a&>(*out).slot, 42);
+
+  paxos::P2b p2b;
+  p2b.sender = 3;
+  p2b.ballot = Ballot(5, 0);
+  p2b.slot = 42;
+  p2b.ok = false;
+  RoundTrip(p2b);
+
+  paxos::P3 p3;
+  p3.ballot = Ballot(5, 0);
+  p3.commit_index = 42;
+  RoundTrip(p3);
+}
+
+TEST_F(WireTest, LogSyncRoundTripWithSnapshot) {
+  paxos::LogSyncRequest req;
+  req.sender = 2;
+  req.from = 5;
+  req.to = 30;
+  RoundTrip(req);
+
+  paxos::LogSyncResponse resp;
+  resp.ballot = Ballot(4, 1);
+  resp.commit_index = 30;
+  resp.snapshot_upto = 25;
+  resp.snapshot = {{"k1", "v1"}, {"k2", std::string(2000, 'x')}};
+  resp.entries.push_back(paxos::AcceptedEntry{
+      26, Ballot(4, 1), Command::Put("k3", "v3", kFirstClientId, 9), true});
+  auto out = RoundTrip(resp);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const paxos::LogSyncResponse&>(*out);
+  EXPECT_TRUE(got.has_snapshot());
+  EXPECT_EQ(got.snapshot_upto, 25);
+  ASSERT_EQ(got.snapshot.size(), 2u);
+  EXPECT_EQ(got.snapshot[1].second.size(), 2000u);
+}
+
+TEST_F(WireTest, RelayEnvelopesRoundTrip) {
+  auto inner = std::make_shared<paxos::P2a>();
+  inner->ballot = Ballot(6, 2);
+  inner->slot = 100;
+  inner->command = Command::Put("pig", "oink", kFirstClientId, 1);
+  inner->commit_index = 99;
+
+  pigpaxos::RelayRequest req;
+  req.relay_id = 0xdeadbeef;
+  req.origin = 2;
+  req.expects_response = true;
+  req.members = {3, 4, 5};
+  req.sub_layers = 1;
+  req.sub_groups = 2;
+  req.inner = inner;
+  auto out = RoundTrip(req);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const pigpaxos::RelayRequest&>(*out);
+  EXPECT_EQ(got.members, (std::vector<NodeId>{3, 4, 5}));
+  ASSERT_NE(got.inner, nullptr);
+  EXPECT_EQ(got.inner->type(), MsgType::kP2a);
+  EXPECT_EQ(static_cast<const paxos::P2a&>(*got.inner).slot, 100);
+
+  pigpaxos::RelayResponse resp;
+  resp.relay_id = 0xdeadbeef;
+  resp.sender = 3;
+  resp.final_batch = false;
+  for (NodeId n = 3; n <= 5; ++n) {
+    auto p2b = std::make_shared<paxos::P2b>();
+    p2b->sender = n;
+    p2b->ballot = Ballot(6, 2);
+    p2b->slot = 100;
+    p2b->ok = true;
+    resp.responses.push_back(std::move(p2b));
+  }
+  auto out2 = RoundTrip(resp);
+  ASSERT_NE(out2, nullptr);
+  const auto& got2 = static_cast<const pigpaxos::RelayResponse&>(*out2);
+  ASSERT_EQ(got2.responses.size(), 3u);
+  EXPECT_EQ(static_cast<const paxos::P2b&>(*got2.responses[2]).sender, 5u);
+  EXPECT_FALSE(got2.final_batch);
+}
+
+TEST_F(WireTest, NestedRelayEnvelope) {
+  // Relay envelope wrapping a relay envelope (multi-layer trees).
+  auto p3 = std::make_shared<paxos::P3>();
+  p3->ballot = Ballot(1, 0);
+  p3->commit_index = 5;
+  auto innermost = std::make_shared<pigpaxos::RelayRequest>();
+  innermost->relay_id = 1;
+  innermost->origin = 0;
+  innermost->inner = p3;
+
+  pigpaxos::RelayRequest outer;
+  outer.relay_id = 1;
+  outer.origin = 0;
+  outer.inner = innermost;
+  auto out = RoundTrip(outer);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const pigpaxos::RelayRequest&>(*out);
+  EXPECT_EQ(got.inner->type(), MsgType::kRelayRequest);
+}
+
+TEST_F(WireTest, EPaxosMessagesRoundTrip) {
+  epaxos::PreAccept pa;
+  pa.ballot = Ballot(1, 4);
+  pa.inst = epaxos::InstanceId{4, 17};
+  pa.cmd = Command::Put("k", "v", kFirstClientId, 2);
+  pa.seq = 9;
+  pa.deps = {{0, 3}, {2, 8}};
+  auto out = RoundTrip(pa);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const epaxos::PreAccept&>(*out);
+  EXPECT_EQ(got.inst, (epaxos::InstanceId{4, 17}));
+  EXPECT_EQ(got.deps.size(), 2u);
+
+  epaxos::PreAcceptReply par;
+  par.sender = 1;
+  par.inst = pa.inst;
+  par.seq = 10;
+  par.deps = {{0, 3}, {1, 5}, {2, 8}};
+  RoundTrip(par);
+
+  epaxos::EAccept acc;
+  acc.ballot = Ballot(1, 4);
+  acc.inst = pa.inst;
+  acc.cmd = pa.cmd;
+  acc.seq = 10;
+  acc.deps = par.deps;
+  RoundTrip(acc);
+
+  epaxos::EAcceptReply ar;
+  ar.sender = 2;
+  ar.inst = pa.inst;
+  RoundTrip(ar);
+
+  epaxos::ECommit commit;
+  commit.inst = pa.inst;
+  commit.cmd = pa.cmd;
+  commit.seq = 10;
+  commit.deps = par.deps;
+  RoundTrip(commit);
+}
+
+TEST_F(WireTest, QuorumReadRoundTrip) {
+  paxos::QuorumReadRequest req;
+  req.key = "config/flags";
+  req.read_id = 55;
+  RoundTrip(req);
+
+  paxos::QuorumReadReply reply;
+  reply.sender = 6;
+  reply.read_id = 55;
+  reply.value = "on";
+  reply.version_slot = 880;
+  reply.pending_write = true;
+  auto out = RoundTrip(reply);
+  const auto& got = static_cast<const paxos::QuorumReadReply&>(*out);
+  EXPECT_TRUE(got.pending_write);
+  EXPECT_EQ(got.version_slot, 880);
+}
+
+TEST_F(WireTest, TruncationsFailCleanly) {
+  paxos::P1b p1b;
+  p1b.sender = 7;
+  p1b.ballot = Ballot(3, 1);
+  p1b.ok = true;
+  p1b.entries.push_back(paxos::AcceptedEntry{
+      11, Ballot(2, 0), Command::Put("abc", "def", kFirstClientId, 5),
+      true});
+  CheckTruncations(p1b);
+
+  pigpaxos::RelayRequest req;
+  req.relay_id = 1;
+  req.origin = 0;
+  req.members = {1, 2};
+  auto inner = std::make_shared<paxos::P3>();
+  inner->ballot = Ballot(1, 0);
+  req.inner = inner;
+  CheckTruncations(req);
+
+  epaxos::PreAccept pa;
+  pa.inst = epaxos::InstanceId{1, 2};
+  pa.cmd = Command::Get("key", kFirstClientId, 1);
+  pa.deps = {{0, 1}};
+  CheckTruncations(pa);
+}
+
+TEST_F(WireTest, RandomCorruptionNeverCrashes) {
+  pigpaxos::RelayResponse resp;
+  resp.relay_id = 77;
+  resp.sender = 1;
+  auto p2b = std::make_shared<paxos::P2b>();
+  p2b->sender = 1;
+  p2b->ballot = Ballot(2, 2);
+  p2b->slot = 5;
+  p2b->ok = true;
+  resp.responses.push_back(std::move(p2b));
+  std::vector<uint8_t> wire = EncodeMessage(resp);
+
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> mutated = wire;
+    size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    }
+    MessagePtr out;
+    // Must return (ok or corruption), never crash, hang, or overflow.
+    (void)DecodeMessage(mutated, &out);
+  }
+}
+
+TEST_F(WireTest, UnknownTypeTagFails) {
+  std::vector<uint8_t> wire = {0xEE, 0x01, 0x02};
+  MessagePtr out;
+  Status s = DecodeMessage(wire, &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(WireTest, TrailingGarbageFails) {
+  Heartbeat hb;
+  hb.ballot = Ballot(1, 1);
+  auto wire = EncodeMessage(hb);
+  wire.push_back(0x00);
+  MessagePtr out;
+  EXPECT_EQ(DecodeMessage(wire, &out).code(), StatusCode::kCorruption);
+}
+
+TEST_F(WireTest, WireSizeGrowsWithPayload) {
+  auto size_for = [](size_t payload) {
+    paxos::P2a p2a;
+    p2a.command =
+        Command::Put("key", std::string(payload, 'v'), kFirstClientId, 1);
+    return p2a.WireSize();
+  };
+  EXPECT_LT(size_for(8), size_for(128));
+  EXPECT_LT(size_for(128), size_for(1280));
+  // Overhead beyond the payload itself stays small and fixed.
+  EXPECT_LE(size_for(1280) - size_for(8), 1280u);
+}
+
+}  // namespace
+}  // namespace pig
