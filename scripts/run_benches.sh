@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs every paper-figure / ablation benchmark and archives the output.
+#
+# Usage: scripts/run_benches.sh [build-dir] [results-dir]
+#   build-dir    defaults to ./build (must already be built)
+#   results-dir  defaults to ./bench-results/<timestamp>
+#
+# Each bench is a standalone binary that prints its table to stdout; this
+# script tees every table into one .txt per bench so figures can be
+# regenerated or diffed between commits.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-bench-results/$(date +%Y%m%d-%H%M%S)}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build dir '${BUILD_DIR}' not found; run:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${RESULTS_DIR}"
+echo "Writing results to ${RESULTS_DIR}/"
+
+shopt -s nullglob
+benches=("${BUILD_DIR}"/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+failed=0
+for bench in "${benches[@]}"; do
+  [[ -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "=== ${name}"
+  if ! "${bench}" | tee "${RESULTS_DIR}/${name}.txt"; then
+    echo "FAILED: ${name}" >&2
+    failed=1
+  fi
+done
+
+echo "Done: $(ls "${RESULTS_DIR}" | wc -l) result files in ${RESULTS_DIR}/"
+exit "${failed}"

@@ -6,7 +6,9 @@
 // latency percentiles, and a per-second throughput timeline (Fig. 13).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "client/workload.h"

@@ -11,6 +11,7 @@
 // never crashes EPaxos nodes.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>

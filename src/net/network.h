@@ -5,6 +5,7 @@
 // to each message and does the actual event scheduling.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <set>

@@ -5,10 +5,13 @@
 // almost no changes to the core Paxos code".
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "consensus/client_messages.h"

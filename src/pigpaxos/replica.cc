@@ -25,7 +25,9 @@ std::vector<NodeId> FollowersOf(NodeId self, size_t n) {
 PigPaxosReplica::PigPaxosReplica(NodeId id, PigPaxosOptions options)
     : PaxosReplica(id, options.paxos),
       pig_options_(std::move(options)),
-      planner_(FollowersOf(id, options.paxos.num_replicas),
+      // pig_options_ is declared (and thus initialized) before planner_,
+      // so read the moved-into member, never the moved-from parameter.
+      planner_(FollowersOf(id, pig_options_.paxos.num_replicas),
                RelayGroupConfig{pig_options_.num_relay_groups,
                                 pig_options_.grouping,
                                 pig_options_.region_of,
@@ -206,6 +208,9 @@ void PigPaxosReplica::HandleRelayRequest(NodeId from,
       auto resp = std::make_shared<RelayResponse>();
       resp->relay_id = req.relay_id;
       resp->sender = id();
+      // The aggregation stays open for the group members' responses, so
+      // this early reject is not the round's final batch.
+      resp->final_batch = false;
       resp->responses.push_back(std::move(own_response));
       env_->Send(from, std::move(resp));
       agg.collected = 1;
@@ -340,18 +345,21 @@ void PigPaxosReplica::AddResponse(Aggregation& agg, uint64_t relay_id,
 
 void PigPaxosReplica::FlushAggregation(uint64_t relay_id, Aggregation& agg,
                                        bool final_batch) {
+  // An early (non-final) flush with nothing buffered is a no-op, but a
+  // final flush must always send — even an empty RelayResponse with
+  // final_batch=true — so a timed-out relay that collected nothing still
+  // tells the origin the round is over instead of leaving it to discover
+  // the silence via its own (longer) relay-ack watch timeout.
   if (agg.buffer.empty() && !final_batch) return;
-  if (!agg.buffer.empty()) {
-    auto out = std::make_shared<RelayResponse>();
-    out->relay_id = relay_id;
-    out->sender = id();
-    out->final_batch = final_batch;
-    out->responses = std::move(agg.buffer);
-    agg.buffer.clear();
-    relay_metrics_.aggregates_sent++;
-    if (!final_batch) relay_metrics_.early_batches++;
-    env_->Send(agg.requester, std::move(out));
-  }
+  auto out = std::make_shared<RelayResponse>();
+  out->relay_id = relay_id;
+  out->sender = id();
+  out->final_batch = final_batch;
+  out->responses = std::move(agg.buffer);
+  agg.buffer.clear();
+  relay_metrics_.aggregates_sent++;
+  if (!final_batch) relay_metrics_.early_batches++;
+  env_->Send(agg.requester, std::move(out));
   agg.first_sent = true;
 }
 

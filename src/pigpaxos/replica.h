@@ -7,8 +7,12 @@
 // tight timeout guarding against sluggish or crashed followers (§3.4).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "paxos/replica.h"
 #include "pigpaxos/messages.h"

@@ -15,10 +15,6 @@ using pigpaxos::PigPaxosReplica;
 using pigpaxos::RelayGroupConfig;
 using pigpaxos::RelayGroupPlanner;
 
-const PigPaxosReplica* PigAt(sim::Cluster& cluster, NodeId id) {
-  return static_cast<const PigPaxosReplica*>(cluster.actor(id));
-}
-
 TEST(OverlapPlannerTest, GroupsBorrowFromNeighbours) {
   RelayGroupConfig cfg{2, GroupingStrategy::kContiguous, nullptr, 1};
   RelayGroupPlanner planner({1, 2, 3, 4, 5, 6}, cfg);

@@ -1,0 +1,197 @@
+// Regression tests for relay-layer fixes: constructor init-order (the
+// planner must be built from the moved-into options member), the empty
+// final RelayResponse after a relay timeout, and vote dedup when
+// overlapping groups deliver a follower's response twice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "pigpaxos/messages.h"
+#include "quorum/quorum.h"
+#include "test_util.h"
+
+namespace pig::test {
+namespace {
+
+using pigpaxos::GroupingStrategy;
+using pigpaxos::PigPaxosOptions;
+using pigpaxos::PigPaxosReplica;
+using pigpaxos::RelayRequest;
+using pigpaxos::RelayResponse;
+
+// ---------------------------------------------------------------------------
+// Constructor init order: planner_ is initialized after pig_options_ has
+// been move-constructed from the `options` parameter, so it must read the
+// cluster size through pig_options_. Build replicas (middle id, so the
+// follower set is not just a prefix) and check the planner covers every
+// other replica exactly once, including with a move-sensitive
+// std::function in the options.
+TEST(PigRegressionTest, ConstructorBuildsPlannerFromMovedOptions) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 3;
+  opt.grouping = GroupingStrategy::kRegion;
+  opt.region_of = [](NodeId n) { return static_cast<int>(n / 3); };
+  MakePigCluster(cluster, 9, opt);
+
+  for (NodeId id = 0; id < 9; ++id) {
+    const auto& planner = PigAt(cluster, id)->planner();
+    std::multiset<NodeId> seen;
+    for (const auto& g : planner.groups()) seen.insert(g.begin(), g.end());
+    std::multiset<NodeId> want;
+    for (NodeId n = 0; n < 9; ++n) {
+      if (n != id) want.insert(n);
+    }
+    EXPECT_EQ(seen, want) << "replica " << id;
+    EXPECT_EQ(PigAt(cluster, id)->pig_options().paxos.num_replicas, 9u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Empty final flush: a relay whose aggregation times out with nothing
+// buffered (its own response was a fast-tracked reject, every member is
+// dead) must still send an empty RelayResponse with final_batch=true so
+// the origin learns the round is over without waiting out its own longer
+// relay-ack watch.
+
+class RelayProbe : public Actor {
+ public:
+  struct Seen {
+    uint64_t relay_id;
+    bool final_batch;
+    size_t num_responses;
+    TimeNs at;
+  };
+
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    (void)from;
+    if (msg->type() != MsgType::kRelayResponse) return;
+    const auto& r = static_cast<const RelayResponse&>(*msg);
+    seen.push_back(Seen{r.relay_id, r.final_batch, r.responses.size(),
+                        env_->Now()});
+  }
+
+  void Inject(NodeId relay, MessagePtr req) {
+    env_->Send(relay, std::move(req));
+  }
+
+  std::vector<Seen> seen;
+};
+
+TEST(PigRegressionTest, TimedOutEmptyAggregationSendsFinalResponse) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 2;
+  opt.relay_timeout = 20 * kMillisecond;
+  opt.paxos.heartbeat_interval = 10 * kSecond;  // silence background
+  opt.paxos.election_timeout_min = 20 * kSecond;  // traffic entirely
+  opt.paxos.election_timeout_max = 30 * kSecond;
+  MakePigCluster(cluster, 5, opt);
+  auto probe_owner = std::make_unique<RelayProbe>();
+  RelayProbe* probe = probe_owner.get();
+  cluster.AddClient(sim::Cluster::MakeClientId(1), std::move(probe_owner));
+  cluster.Start();
+  cluster.RunFor(100 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 5), 0u);
+
+  // Node 1 will relay for two dead members; its own response to the
+  // stale-ballot P2a is a reject, which is fast-tracked past the buffer.
+  cluster.Crash(3);
+  cluster.Crash(4);
+
+  auto p2a = std::make_shared<paxos::P2a>();
+  p2a->ballot = Ballot();  // stale: below the elected leader's ballot
+  p2a->slot = 0;
+  p2a->command = Command::Put("stale", "write", kInvalidNode, 1);
+  auto req = std::make_shared<RelayRequest>();
+  req->relay_id = 999;
+  req->origin = sim::Cluster::MakeClientId(1);
+  req->expects_response = true;
+  req->members = {3, 4};
+  req->inner = std::move(p2a);
+  const TimeNs injected_at = cluster.Now();
+  probe->Inject(1, std::move(req));
+  cluster.RunFor(100 * kMillisecond);
+
+  // First the fast-tracked reject, then — after relay_timeout — the
+  // empty final batch closing the round.
+  ASSERT_EQ(probe->seen.size(), 2u);
+  EXPECT_EQ(probe->seen[0].relay_id, 999u);
+  EXPECT_EQ(probe->seen[0].num_responses, 1u);
+  EXPECT_FALSE(probe->seen[0].final_batch);  // aggregation still open
+  EXPECT_EQ(probe->seen[1].relay_id, 999u);
+  EXPECT_TRUE(probe->seen[1].final_batch);
+  EXPECT_EQ(probe->seen[1].num_responses, 0u);
+  EXPECT_GE(probe->seen[1].at, injected_at + opt.relay_timeout);
+  EXPECT_EQ(PigAt(cluster, 1)->relay_metrics().relay_timeouts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overlapping groups deliver some followers' responses twice; the
+// leader's VoteTally must count each follower once.
+
+TEST(VoteTallyTest, DuplicateAcksCountOnce) {
+  VoteTally tally(3);
+  EXPECT_FALSE(tally.Ack(1));
+  EXPECT_FALSE(tally.Ack(1));  // duplicate delivery (overlap path)
+  EXPECT_EQ(tally.ack_count(), 1u);
+  EXPECT_FALSE(tally.Passed());
+  EXPECT_FALSE(tally.Ack(2));
+  EXPECT_TRUE(tally.Ack(3));  // third *distinct* vote crosses the bar
+  EXPECT_FALSE(tally.Ack(3));  // threshold satisfied only once
+  EXPECT_EQ(tally.ack_count(), 3u);
+}
+
+TEST(PigRegressionTest, OverlapDoubleDeliveryNeverFakesQuorum) {
+  // 5 nodes, contiguous groups {1,2} and {3,4}; overlap 1 extends them to
+  // {1,2,3} and {3,4,1}, so node 1 sits in both groups. With 2, 3, and 4
+  // crashed, every fan-out can reach node 1 twice (once per group), but
+  // leader + one distinct follower is still only 2 of the 3 votes quorum
+  // needs: the slot must never commit no matter how many duplicate P2b's
+  // arrive.
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 2;
+  opt.group_overlap = 1;
+  opt.relay_timeout = 20 * kMillisecond;
+  opt.paxos.propose_retry_timeout = 100 * kMillisecond;
+  opt.paxos.heartbeat_interval = 10 * kSecond;
+  opt.paxos.election_timeout_min = 20 * kSecond;
+  opt.paxos.election_timeout_max = 30 * kSecond;
+  Prober* prober = MakePigCluster(cluster, 5, opt);
+  cluster.Start();
+  cluster.RunFor(100 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 5), 0u);
+
+  // Sanity-check the overlap topology this test depends on.
+  {
+    std::multiset<NodeId> seen;
+    for (const auto& g : PigAt(cluster, 0)->planner().groups()) {
+      seen.insert(g.begin(), g.end());
+    }
+    ASSERT_EQ(seen, (std::multiset<NodeId>{1, 1, 2, 3, 3, 4}));
+  }
+
+  cluster.Crash(2);
+  cluster.Crash(3);
+  cluster.Crash(4);
+  uint64_t seq = prober->Put(0, "once", "only");
+  cluster.RunFor(2000 * kMillisecond);  // ~20 propose retries
+
+  EXPECT_EQ(prober->FindReply(seq), nullptr);
+  EXPECT_EQ(PaxosAt(cluster, 0)->metrics().commits, 0u);
+  EXPECT_EQ(PaxosAt(cluster, 0)->store().Get("once"), "");
+
+  // Control: one more distinct follower is exactly what was missing.
+  cluster.Recover(2);
+  cluster.RunFor(2000 * kMillisecond);
+  EXPECT_NE(prober->FindReply(seq), nullptr);
+  EXPECT_EQ(PaxosAt(cluster, 0)->store().Get("once"), "only");
+}
+
+}  // namespace
+}  // namespace pig::test

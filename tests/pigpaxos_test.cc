@@ -16,10 +16,6 @@ using pigpaxos::PigPaxosReplica;
 using pigpaxos::RelayGroupConfig;
 using pigpaxos::RelayGroupPlanner;
 
-const PigPaxosReplica* PigAt(sim::Cluster& cluster, NodeId id) {
-  return static_cast<const PigPaxosReplica*>(cluster.actor(id));
-}
-
 TEST(RelayGroupPlannerTest, ContiguousPartitionCoversAllFollowers) {
   RelayGroupPlanner planner({1, 2, 3, 4, 5, 6, 7},
                             RelayGroupConfig{3, GroupingStrategy::kContiguous,

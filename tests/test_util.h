@@ -114,6 +114,11 @@ inline const paxos::PaxosReplica* PaxosAt(sim::Cluster& cluster, NodeId id) {
   return static_cast<const paxos::PaxosReplica*>(cluster.actor(id));
 }
 
+inline const pigpaxos::PigPaxosReplica* PigAt(sim::Cluster& cluster,
+                                              NodeId id) {
+  return static_cast<const pigpaxos::PigPaxosReplica*>(cluster.actor(id));
+}
+
 inline const epaxos::EPaxosReplica* EPaxosAt(sim::Cluster& cluster,
                                              NodeId id) {
   return static_cast<const epaxos::EPaxosReplica*>(cluster.actor(id));
