@@ -1,11 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the substrate:
-// codec round trips, message encode, scheduler throughput, histogram
-// recording, RNG, and relay-group planning.
+// codec round trips, message encode, scheduler throughput, network
+// accounting, cluster end-to-end event rate, histogram recording, RNG,
+// and relay-group planning.
+//
+// The subset pinned by scripts/bench_gate.py (scheduler churn/cancel,
+// network transfer, fig8-style cluster events) guards against hot-path
+// regressions; keep those names and workload shapes stable.
 #include <benchmark/benchmark.h>
 
 #include "common/codec.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "harness/experiment.h"
+#include "net/network.h"
 #include "paxos/messages.h"
 #include "pigpaxos/messages.h"
 #include "pigpaxos/relay_groups.h"
@@ -82,6 +89,83 @@ void BM_SchedulerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_SchedulerChurn);
+
+// Schedule/run churn while `depth` far-future events sit in the heap —
+// the steady state of a busy cluster (every node keeps timers pending).
+void BM_SchedulerChurnAtDepth(benchmark::State& state) {
+  sim::Scheduler sched;
+  const int64_t depth = state.range(0);
+  const TimeNs far = TimeNs{1} << 40;  // never reached below
+  for (int64_t i = 0; i < depth; ++i) {
+    sched.ScheduleAt(far + i, []() {});
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sched.ScheduleAfter(i, []() {});
+    }
+    sched.RunFor(64);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SchedulerChurnAtDepth)->Arg(256)->Arg(4096);
+
+// Heartbeat/ack-watch pattern: most timers are canceled before firing.
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::vector<sim::EventId> ids;
+  ids.reserve(64);
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(sched.ScheduleAfter(1000 + i, []() {}));
+    }
+    for (int i = 0; i < 64; ++i) {
+      if (i % 8 != 0) sched.Cancel(ids[static_cast<size_t>(i)]);
+    }
+    sched.RunFor(2000);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+// Per-message fabric bookkeeping: fate decision + both stats sides.
+void BM_NetworkTransfer(benchmark::State& state) {
+  net::NetworkOptions opt;
+  opt.latency = std::make_shared<net::LanLatency>();
+  net::Network network(opt);
+  NodeId peer = 0;
+  for (auto _ : state) {
+    NodeId to = 1 + (peer++ % 24);
+    auto lat = network.Transfer(0, to, 100);
+    benchmark::DoNotOptimize(lat);
+    network.RecordDelivery(to, 100);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkTransfer);
+
+// End-to-end simulator event rate on a fig8-style 25-node PigPaxos run
+// (3 relay groups, 32 closed-loop clients, 50/50 r/w). items/s =
+// simulator events per wall-clock second, the number the bench gate pins.
+void BM_ClusterFig8Events(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kPigPaxos;
+  cfg.num_replicas = 25;
+  cfg.relay_groups = 3;
+  cfg.num_clients = 32;
+  cfg.workload.read_ratio = 0.5;
+  cfg.warmup = 100 * kMillisecond;
+  cfg.measure = 400 * kMillisecond;
+  cfg.seed = 42;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    harness::RunResult r = harness::RunExperiment(cfg);
+    events += r.total_events;
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_ClusterFig8Events)->Unit(benchmark::kMillisecond);
 
 void BM_HistogramRecord(benchmark::State& state) {
   Histogram h;

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Release-mode throughput regression gate for the simulator hot path.
+
+Runs a pinned subset of bench_micro_core (scheduler churn/cancel, network
+transfer bookkeeping, fig8-style 25-node cluster event rate), writes the
+results to BENCH_<n>.json, and fails if any pinned benchmark's throughput
+(items/second, median over repetitions) regresses more than --threshold
+relative to the checked-in baseline.
+
+Typical use:
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j
+    scripts/bench_gate.py --build-dir build-release
+
+Refreshing the baseline after an intentional perf change (run on the
+machine the baseline is meant for; CI runners use a looser threshold):
+    scripts/bench_gate.py --build-dir build-release --update-baseline
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The pinned subset. Names and workload shapes must stay stable across
+# PRs; when one changes intentionally, refresh the baseline in the same
+# commit and explain why in the PR.
+PINNED = [
+    "BM_SchedulerChurn",
+    "BM_SchedulerChurnAtDepth/256",
+    "BM_SchedulerChurnAtDepth/4096",
+    "BM_SchedulerCancelHeavy",
+    "BM_NetworkTransfer",
+    "BM_ClusterFig8Events",
+]
+
+
+def default_output_path():
+    """BENCH_<n>.json with n = 1 + the highest checked-in BENCH number."""
+    highest = 0
+    for name in os.listdir(REPO_ROOT):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if m:
+            highest = max(highest, int(m.group(1)))
+    return os.path.join(REPO_ROOT, "BENCH_%d.json" % (highest + 1))
+
+
+def run_benchmarks(binary, repetitions):
+    bench_filter = "^(%s)$" % "|".join(re.escape(n) for n in PINNED)
+    cmd = [
+        binary,
+        "--benchmark_filter=%s" % bench_filter,
+        "--benchmark_format=json",
+        "--benchmark_repetitions=%d" % repetitions,
+    ]
+    if repetitions > 1:
+        cmd.append("--benchmark_report_aggregates_only=true")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit("error: %s exited with %d" % (binary, proc.returncode))
+    report = json.loads(proc.stdout)
+    medians = {}
+    for bench in report.get("benchmarks", []):
+        # With repetitions > 1 use the median aggregate; a single
+        # repetition emits only plain entries (no aggregates).
+        if repetitions > 1:
+            if bench.get("aggregate_name") != "median":
+                continue
+            name = bench["name"].removesuffix("_median")
+        else:
+            name = bench["name"]
+        medians[name] = {
+            "items_per_second": bench.get("items_per_second", 0.0),
+            "real_time": bench.get("real_time", 0.0),
+            "time_unit": bench.get("time_unit", "ns"),
+        }
+    missing = [n for n in PINNED if n not in medians]
+    if missing:
+        raise SystemExit("error: pinned benchmarks missing from run: %s"
+                         % ", ".join(missing))
+    return medians, report.get("context", {})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build-release",
+                        help="Release build dir containing bench_micro_core")
+    parser.add_argument("--baseline",
+                        default=os.path.join(REPO_ROOT, "bench",
+                                             "bench_baseline.json"))
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: BENCH_<n>.json)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated fractional throughput loss "
+                             "(default 0.10; CI uses a looser value to "
+                             "absorb shared-runner noise)")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with this run's numbers")
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench_micro_core")
+    if not os.path.exists(binary):
+        raise SystemExit(
+            "error: %s not found; build Release first:\n"
+            "  cmake -B %s -S . -DCMAKE_BUILD_TYPE=Release && "
+            "cmake --build %s -j" % (binary, args.build_dir, args.build_dir))
+
+    medians, context = run_benchmarks(binary, args.repetitions)
+
+    baseline = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+
+    comparisons = {}
+    regressions = []
+    unbaselined = []
+    for name in PINNED:
+        entry = {"items_per_second": medians[name]["items_per_second"],
+                 "real_time": medians[name]["real_time"],
+                 "time_unit": medians[name]["time_unit"]}
+        if baseline:
+            if name in baseline.get("benchmarks", {}):
+                base_ips = baseline["benchmarks"][name]["items_per_second"]
+                entry["baseline_items_per_second"] = base_ips
+                entry["ratio"] = (entry["items_per_second"] / base_ips
+                                  if base_ips > 0 else float("inf"))
+                if entry["ratio"] < 1.0 - args.threshold:
+                    regressions.append(name)
+            else:
+                # A pinned bench absent from the baseline would otherwise
+                # be exempt from the gate forever — that is a failure,
+                # not a pass.
+                unbaselined.append(name)
+        comparisons[name] = entry
+
+    result = {
+        "threshold": args.threshold,
+        "repetitions": args.repetitions,
+        "baseline_file": os.path.relpath(args.baseline, REPO_ROOT),
+        "baseline_found": baseline is not None,
+        "host": {k: context.get(k) for k in
+                 ("host_name", "num_cpus", "mhz_per_cpu", "library_version")},
+        "benchmarks": comparisons,
+        "regressions": regressions,
+        "missing_from_baseline": unbaselined,
+        "pass": not regressions and not unbaselined,
+    }
+
+    output = args.output or default_output_path()
+    with open(output, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s" % output)
+
+    for name in PINNED:
+        entry = comparisons[name]
+        ratio = entry.get("ratio")
+        print("  %-32s %12.3g items/s   %s" % (
+            name, entry["items_per_second"],
+            "x%.2f vs baseline" % ratio if ratio is not None else
+            "(no baseline)"))
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump({"benchmarks": {n: {"items_per_second":
+                                          medians[n]["items_per_second"]}
+                                      for n in PINNED},
+                       "host": result["host"]},
+                      f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("baseline refreshed: %s" % args.baseline)
+        return 0
+
+    if baseline is None:
+        print("warning: no baseline at %s; gate passes vacuously "
+              "(run with --update-baseline to create one)" % args.baseline)
+        return 0
+
+    if unbaselined:
+        print("FAIL: pinned benchmarks missing from the baseline "
+              "(rerun with --update-baseline and commit it): %s"
+              % ", ".join(unbaselined))
+        return 1
+    if regressions:
+        print("FAIL: throughput regressed >%d%% on: %s"
+              % (round(args.threshold * 100), ", ".join(regressions)))
+        return 1
+    print("PASS: no pinned benchmark regressed more than %d%%"
+          % round(args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Runs every paper-figure / ablation benchmark and archives the output.
 #
-# Usage: scripts/run_benches.sh [build-dir] [results-dir]
+# Usage: scripts/run_benches.sh [--json] [build-dir] [results-dir]
+#   --json       emit machine-readable output where supported:
+#                google-benchmark binaries (bench_micro_core) write
+#                .json via --benchmark_format=json; plain table benches
+#                still write .txt
 #   build-dir    defaults to ./build (must already be built)
 #   results-dir  defaults to ./bench-results/<timestamp>
 #
 # Each bench is a standalone binary that prints its table to stdout; this
-# script tees every table into one .txt per bench so figures can be
+# script tees every table into one file per bench so figures can be
 # regenerated or diffed between commits.
 set -euo pipefail
+
+JSON_MODE=0
+if [[ "${1:-}" == "--json" ]]; then
+  JSON_MODE=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 RESULTS_DIR="${2:-bench-results/$(date +%Y%m%d-%H%M%S)}"
@@ -29,14 +39,30 @@ if [[ ${#benches[@]} -eq 0 ]]; then
   exit 1
 fi
 
+# True for binaries linked against google-benchmark (they understand
+# --benchmark_format; plain table benches ignore argv entirely, so we
+# must not guess wrong and silently produce a .json full of text).
+# Dynamic links show up in ldd; the grep catches static links.
+is_gbench() {
+  ldd "$1" 2>/dev/null | grep -q "libbenchmark" && return 0
+  grep -q "benchmark_format" "$1" 2>/dev/null
+}
+
 failed=0
 for bench in "${benches[@]}"; do
   [[ -x "${bench}" ]] || continue
   name="$(basename "${bench}")"
   echo "=== ${name}"
-  if ! "${bench}" | tee "${RESULTS_DIR}/${name}.txt"; then
-    echo "FAILED: ${name}" >&2
-    failed=1
+  if [[ "${JSON_MODE}" -eq 1 ]] && is_gbench "${bench}"; then
+    if ! "${bench}" --benchmark_format=json > "${RESULTS_DIR}/${name}.json"; then
+      echo "FAILED: ${name}" >&2
+      failed=1
+    fi
+  else
+    if ! "${bench}" | tee "${RESULTS_DIR}/${name}.txt"; then
+      echo "FAILED: ${name}" >&2
+      failed=1
+    fi
   fi
 done
 

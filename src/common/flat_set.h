@@ -1,0 +1,109 @@
+// Open-addressing hash set of 64-bit keys (linear probing, power-of-two
+// capacity, backward-shift deletion). One flat allocation, no per-node
+// boxes — the per-message links_down_ lookup in net::Network stays a
+// couple of cache lines instead of a std::set tree walk.
+//
+// The key value UINT64_MAX is reserved (slots store key + 1, with 0 as
+// the empty marker); inserting it is rejected by assert.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pig {
+
+class FlatSet64 {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void clear() {
+    slots_.assign(slots_.size(), 0);
+    size_ = 0;
+  }
+
+  /// Inserts `key`; returns false if already present.
+  bool insert(uint64_t key) {
+    assert(key != UINT64_MAX);
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Grow();
+    }
+    size_t i = IndexFor(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key + 1) return false;
+      i = (i + 1) & Mask();
+    }
+    slots_[i] = key + 1;
+    size_++;
+    return true;
+  }
+
+  bool contains(uint64_t key) const {
+    if (size_ == 0) return false;
+    size_t i = IndexFor(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key + 1) return true;
+      i = (i + 1) & Mask();
+    }
+    return false;
+  }
+
+  /// Removes `key`; returns false if absent. Backward-shifts the probe
+  /// run so lookups never need tombstones.
+  bool erase(uint64_t key) {
+    if (size_ == 0) return false;
+    size_t i = IndexFor(key);
+    while (slots_[i] != key + 1) {
+      if (slots_[i] == 0) return false;
+      i = (i + 1) & Mask();
+    }
+    size_t hole = i;
+    size_t j = (i + 1) & Mask();
+    while (slots_[j] != 0) {
+      const size_t ideal = IndexFor(slots_[j] - 1);
+      // The entry at j may fill the hole only if the hole lies on its
+      // probe path (between its ideal slot and j, cyclically).
+      const size_t dist_hole = (hole - ideal) & Mask();
+      const size_t dist_j = (j - ideal) & Mask();
+      if (dist_hole < dist_j) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & Mask();
+    }
+    slots_[hole] = 0;
+    size_--;
+    return true;
+  }
+
+ private:
+  static constexpr size_t kInitialCapacity = 16;
+
+  size_t Mask() const { return slots_.size() - 1; }
+
+  size_t IndexFor(uint64_t key) const {
+    // SplitMix64 finalizer: scrambles packed (from, to) pairs well.
+    uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(z ^ (z >> 31)) & Mask();
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(old.empty() ? kInitialCapacity : old.size() * 2, 0);
+    for (uint64_t stored : old) {
+      if (stored == 0) continue;
+      size_t i = IndexFor(stored - 1);
+      while (slots_[i] != 0) i = (i + 1) & Mask();
+      slots_[i] = stored;
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace pig

@@ -1,0 +1,122 @@
+// Move-only `void()` callable with inline storage for small closures.
+//
+// The discrete-event scheduler stores one callable per pending event; with
+// std::function every Schedule* call may heap-allocate. SmallFn keeps
+// closures up to kInlineBytes (the simulator's delivery and timer lambdas:
+// a couple of pointers, ids, a shared_ptr or a wrapped std::function)
+// inline in the event slab and falls back to the heap only for fat
+// captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pig {
+
+template <size_t kInlineBytes>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): converting by design.
+  SmallFn(F&& f) {
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Destroys the current target (if any) and constructs `f` in place —
+  /// one move cheaper than `*this = SmallFn(f)`.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type D would be stored inline (test hook).
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+      [](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* self) { std::launder(reinterpret_cast<D*>(self))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<D**>(self)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<D**>(self)); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+/// Event callable used by the simulator: 64 inline bytes covers every
+/// closure on the hot path (message delivery, drain, timers).
+using EventFn = SmallFn<64>;
+
+}  // namespace pig

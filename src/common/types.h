@@ -18,6 +18,12 @@ inline constexpr NodeId kFirstClientId = 1u << 20;
 /// True when `id` denotes a client rather than a replica.
 inline constexpr bool IsClientId(NodeId id) { return id >= kFirstClientId; }
 
+/// Index of `id` within its class's dense per-node table: replicas map
+/// to [0, num_replicas) directly, clients offset from kFirstClientId.
+inline constexpr uint32_t DenseNodeIndex(NodeId id) {
+  return IsClientId(id) ? id - kFirstClientId : id;
+}
+
 /// Simulated (and wall-clock) time in nanoseconds since run start.
 using TimeNs = int64_t;
 

@@ -2,6 +2,16 @@
 
 namespace pig::net {
 
+namespace {
+
+template <typename T>
+T& GrownSlot(std::vector<T>& v, size_t index) {
+  if (index >= v.size()) v.resize(index + 1);
+  return v[index];
+}
+
+}  // namespace
+
 Network::Network(NetworkOptions options, uint64_t seed)
     : options_(std::move(options)), rng_(seed) {
   if (!options_.latency) {
@@ -9,14 +19,21 @@ Network::Network(NetworkOptions options, uint64_t seed)
   }
 }
 
+TrafficStats& Network::StatsSlot(NodeId node) {
+  return GrownSlot(IsClientId(node) ? client_stats_ : replica_stats_,
+                   DenseNodeIndex(node));
+}
+
 int Network::PartitionGroupOf(NodeId node) const {
-  auto it = partition_group_.find(node);
-  return it == partition_group_.end() ? 0 : it->second;
+  const std::vector<int>& groups =
+      IsClientId(node) ? client_group_ : replica_group_;
+  const size_t index = DenseNodeIndex(node);
+  return index < groups.size() ? groups[index] : 0;
 }
 
 std::optional<TimeNs> Network::Transfer(NodeId from, NodeId to,
                                         size_t bytes) {
-  TrafficStats& s = stats_[from];
+  TrafficStats& s = StatsSlot(from);
   s.msgs_sent++;
   s.bytes_sent += bytes;
   const int rf = options_.latency->RegionOf(from);
@@ -25,8 +42,8 @@ std::optional<TimeNs> Network::Transfer(NodeId from, NodeId to,
     cross_region_msgs_++;
     cross_region_bytes_ += bytes;
   }
-  if (PartitionGroupOf(from) != PartitionGroupOf(to) ||
-      links_down_.count({from, to}) > 0 ||
+  if ((partitioned_ && PartitionGroupOf(from) != PartitionGroupOf(to)) ||
+      (!links_down_.empty() && links_down_.contains(PackLink(from, to))) ||
       (options_.drop_probability > 0 &&
        rng_.NextBool(options_.drop_probability))) {
     dropped_++;
@@ -36,48 +53,60 @@ std::optional<TimeNs> Network::Transfer(NodeId from, NodeId to,
 }
 
 void Network::RecordDelivery(NodeId to, size_t bytes) {
-  TrafficStats& s = stats_[to];
+  TrafficStats& s = StatsSlot(to);
   s.msgs_received++;
   s.bytes_received += bytes;
 }
 
 void Network::SetPartitionGroup(NodeId node, int group) {
-  partition_group_[node] = group;
+  GrownSlot(IsClientId(node) ? client_group_ : replica_group_,
+            DenseNodeIndex(node)) = group;
+  partitioned_ = true;
 }
 
-void Network::HealPartitions() { partition_group_.clear(); }
+void Network::HealPartitions() {
+  replica_group_.clear();
+  client_group_.clear();
+  partitioned_ = false;
+}
 
 void Network::SetLinkDown(NodeId from, NodeId to, bool down) {
   if (down) {
-    links_down_.insert({from, to});
+    links_down_.insert(PackLink(from, to));
   } else {
-    links_down_.erase({from, to});
+    links_down_.erase(PackLink(from, to));
   }
 }
 
 bool Network::IsLinkDown(NodeId from, NodeId to) const {
-  return links_down_.count({from, to}) > 0;
+  return links_down_.contains(PackLink(from, to));
 }
 
 const TrafficStats& Network::StatsFor(NodeId node) const {
   static const TrafficStats kEmpty;
-  auto it = stats_.find(node);
-  return it == stats_.end() ? kEmpty : it->second;
+  const std::vector<TrafficStats>& stats =
+      IsClientId(node) ? client_stats_ : replica_stats_;
+  const size_t index = DenseNodeIndex(node);
+  return index < stats.size() ? stats[index] : kEmpty;
 }
 
 TrafficStats Network::TotalStats() const {
   TrafficStats total;
-  for (const auto& [_, s] : stats_) {
-    total.msgs_sent += s.msgs_sent;
-    total.msgs_received += s.msgs_received;
-    total.bytes_sent += s.bytes_sent;
-    total.bytes_received += s.bytes_received;
+  for (const std::vector<TrafficStats>* v :
+       {&replica_stats_, &client_stats_}) {
+    for (const TrafficStats& s : *v) {
+      total.msgs_sent += s.msgs_sent;
+      total.msgs_received += s.msgs_received;
+      total.bytes_sent += s.bytes_sent;
+      total.bytes_received += s.bytes_received;
+    }
   }
   return total;
 }
 
 void Network::ResetStats() {
-  stats_.clear();
+  replica_stats_.assign(replica_stats_.size(), TrafficStats{});
+  client_stats_.assign(client_stats_.size(), TrafficStats{});
   cross_region_msgs_ = 0;
   cross_region_bytes_ = 0;
   dropped_ = 0;

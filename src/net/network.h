@@ -2,15 +2,19 @@
 // latency sampling, and per-node traffic accounting.
 //
 // The fabric itself is policy-only; the sim::Cluster asks it what happens
-// to each message and does the actual event scheduling.
+// to each message and does the actual event scheduling. All per-node
+// state (traffic counters, partition groups) lives in dense vectors
+// indexed by NodeId — replicas from 0, clients offset from
+// kFirstClientId — so the per-message bookkeeping is two array writes,
+// not hash lookups.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <set>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_set.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/latency.h"
@@ -56,6 +60,8 @@ class Network {
   void set_drop_probability(double p) { options_.drop_probability = p; }
 
   // --- Introspection --------------------------------------------------
+  /// Counters for `node`. A node that never sent or received returns
+  /// all-zero stats; the call never materializes state for it.
   const TrafficStats& StatsFor(NodeId node) const;
   TrafficStats TotalStats() const;
   uint64_t cross_region_msgs() const { return cross_region_msgs_; }
@@ -65,13 +71,23 @@ class Network {
   void ResetStats();
 
  private:
+  static uint64_t PackLink(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  /// Dense counter slot for `node`, grown on first touch.
+  TrafficStats& StatsSlot(NodeId node);
   int PartitionGroupOf(NodeId node) const;
 
   NetworkOptions options_;
   Rng rng_;
-  std::unordered_map<NodeId, TrafficStats> stats_;
-  std::unordered_map<NodeId, int> partition_group_;
-  std::set<std::pair<NodeId, NodeId>> links_down_;
+  // Dense per-node state: [replica id] and [client id - kFirstClientId].
+  std::vector<TrafficStats> replica_stats_;
+  std::vector<TrafficStats> client_stats_;
+  std::vector<int> replica_group_;
+  std::vector<int> client_group_;
+  bool partitioned_ = false;  // fast path: skip group lookups entirely
+  FlatSet64 links_down_;
   uint64_t cross_region_msgs_ = 0;
   uint64_t cross_region_bytes_ = 0;
   uint64_t dropped_ = 0;

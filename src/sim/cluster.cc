@@ -38,7 +38,22 @@ struct Cluster::Node {
   TimeNs busy_accum = 0;  // total busy time, for utilization reporting
   std::deque<PendingDelivery> inbox;
   bool drain_scheduled = false;
-  std::unordered_map<TimerId, EventId> timers;  // timer id -> event id
+  // Live timers, few per node: a flat list beats a hash map here.
+  std::vector<std::pair<TimerId, EventId>> timers;
+
+  /// Drops `tid` from the live list; returns its scheduler event id, or
+  /// 0 (never a valid EventId) when the timer is unknown.
+  EventId ForgetTimer(TimerId tid) {
+    for (auto& entry : timers) {
+      if (entry.first == tid) {
+        const EventId eid = entry.second;
+        entry = timers.back();
+        timers.pop_back();
+        return eid;
+      }
+    }
+    return 0;
+  }
 };
 
 class Cluster::NodeEnv final : public Env {
@@ -57,23 +72,20 @@ class Cluster::NodeEnv final : public Env {
   TimerId SetTimer(TimeNs delay, std::function<void()> cb) override {
     TimerId tid = next_timer_id_++;
     Node* node = node_;
-    Cluster* cluster = cluster_;
     EventId eid = cluster_->scheduler_.ScheduleAfter(
-        delay, [cluster, node, tid, cb = std::move(cb)]() {
-          node->timers.erase(tid);
+        delay, [node, tid, cb = std::move(cb)]() {
+          node->ForgetTimer(tid);
           if (!node->alive) return;
-          (void)cluster;
           cb();
         });
-    node_->timers.emplace(tid, eid);
+    node_->timers.emplace_back(tid, eid);
     return tid;
   }
 
   void CancelTimer(TimerId id) override {
-    auto it = node_->timers.find(id);
-    if (it == node_->timers.end()) return;
-    cluster_->scheduler_.Cancel(it->second);
-    node_->timers.erase(it);
+    if (EventId eid = node_->ForgetTimer(id)) {
+      cluster_->scheduler_.Cancel(eid);
+    }
   }
 
   Rng& rng() override { return rng_; }
@@ -106,7 +118,7 @@ Cluster::~Cluster() = default;
 void Cluster::AddActor(NodeId id, std::unique_ptr<Actor> actor,
                        bool is_client) {
   assert(!started_);
-  assert(nodes_.find(id) == nodes_.end());
+  assert(FindNode(id) == nullptr);
   auto node = std::make_unique<Node>();
   node->id = id;
   node->actor = std::move(actor);
@@ -115,7 +127,11 @@ void Cluster::AddActor(NodeId id, std::unique_ptr<Actor> actor,
   node->env = std::make_unique<NodeEnv>(this, node.get(), master_rng_.Fork());
   node->actor->Bind(node->env.get());
   (is_client ? client_ids_ : replica_ids_).push_back(id);
-  nodes_.emplace(id, std::move(node));
+  std::vector<std::unique_ptr<Node>>& table =
+      is_client ? clients_ : replicas_;
+  const size_t index = DenseNodeIndex(id);
+  if (index >= table.size()) table.resize(index + 1);
+  table[index] = std::move(node);
 }
 
 void Cluster::AddReplica(NodeId id, std::unique_ptr<Actor> actor) {
@@ -131,18 +147,19 @@ void Cluster::AddClient(NodeId id, std::unique_ptr<Actor> actor) {
 void Cluster::Start() {
   assert(!started_);
   started_ = true;
-  for (NodeId id : replica_ids_) nodes_[id]->actor->OnStart();
-  for (NodeId id : client_ids_) nodes_[id]->actor->OnStart();
+  for (NodeId id : replica_ids_) FindNode(id)->actor->OnStart();
+  for (NodeId id : client_ids_) FindNode(id)->actor->OnStart();
 }
 
 Cluster::Node* Cluster::FindNode(NodeId id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  const std::vector<std::unique_ptr<Node>>& table =
+      IsClientId(id) ? clients_ : replicas_;
+  const size_t index = DenseNodeIndex(id);
+  return index < table.size() ? table[index].get() : nullptr;
 }
 
 const Cluster::Node* Cluster::FindNode(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  return const_cast<Cluster*>(this)->FindNode(id);
 }
 
 void Cluster::SendFrom(Node& from, NodeId to, MessagePtr msg) {
@@ -162,12 +179,13 @@ void Cluster::SendFrom(Node& from, NodeId to, MessagePtr msg) {
 
   TimeNs arrival = departure + *latency;
   NodeId from_id = from.id;
-  scheduler_.ScheduleAt(arrival, [this, from_id, to, msg = std::move(msg)]() {
-    Node* dest = FindNode(to);
-    if (dest == nullptr || !dest->alive) return;
-    network_->RecordDelivery(to, msg->WireSize());
-    EnqueueDelivery(*dest, from_id, std::move(const_cast<MessagePtr&>(msg)));
-  });
+  scheduler_.ScheduleAt(
+      arrival, [this, from_id, to, bytes, msg = std::move(msg)]() mutable {
+        Node* dest = FindNode(to);
+        if (dest == nullptr || !dest->alive) return;
+        network_->RecordDelivery(to, bytes);
+        EnqueueDelivery(*dest, from_id, std::move(msg));
+      });
 }
 
 void Cluster::EnqueueDelivery(Node& node, NodeId from, MessagePtr msg) {
@@ -213,7 +231,7 @@ void Cluster::Crash(NodeId id) {
                  << "ms";
   node->alive = false;
   node->inbox.clear();
-  for (auto& [tid, eid] : node->timers) scheduler_.Cancel(eid);
+  for (const auto& [tid, eid] : node->timers) scheduler_.Cancel(eid);
   node->timers.clear();
 }
 
@@ -253,7 +271,12 @@ double Cluster::CpuUtilization(NodeId id, TimeNs window) const {
 }
 
 void Cluster::ResetCpuStats() {
-  for (auto& [_, node] : nodes_) node->busy_accum = 0;
+  for (const std::vector<std::unique_ptr<Node>>* table :
+       {&replicas_, &clients_}) {
+    for (const std::unique_ptr<Node>& node : *table) {
+      if (node) node->busy_accum = 0;
+    }
+  }
 }
 
 }  // namespace pig::sim

@@ -13,7 +13,6 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -122,7 +121,10 @@ class Cluster {
   Scheduler scheduler_;
   std::unique_ptr<net::Network> network_;
   Rng master_rng_;
-  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  // Dense node tables indexed by NodeId (clients offset from
+  // kFirstClientId); gaps for unregistered ids hold nullptr.
+  std::vector<std::unique_ptr<Node>> replicas_;
+  std::vector<std::unique_ptr<Node>> clients_;
   std::vector<NodeId> replica_ids_;
   std::vector<NodeId> client_ids_;
   bool started_ = false;

@@ -1,27 +1,65 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace pig::sim {
 
-EventId Scheduler::ScheduleAt(TimeNs when, std::function<void()> fn) {
-  if (when < now_) when = now_;
-  EventId id = next_id_++;
-  heap_.push(HeapItem{when, id});
-  bodies_.emplace(id, std::move(fn));
-  return id;
+void Scheduler::DieTooManyPendingEvents() {
+  std::fprintf(stderr,
+               "sim::Scheduler: more than %u concurrently pending events; "
+               "the slot index would corrupt event keys\n",
+               kSlotMask);
+  std::abort();
+}
+
+void Scheduler::Cancel(EventId id) {
+  const uint32_t index = static_cast<uint32_t>(id & kSlotMask);
+  if (index >= slots_.size() || slots_[index].key != id) return;
+  FreeSlot(index);
+  live_--;
+  heap_dead_++;
+  MaybeCompact();
+}
+
+void Scheduler::FreeSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.key = 0;  // invalidates the EventId and any heap entries
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Scheduler::MaybeCompact() {
+  if (heap_.size() < kCompactMinHeap || heap_dead_ * 2 <= heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapItem& item) {
+                               return !IsLive(item);
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), LaterOnHeap{});
+  heap_dead_ = 0;
 }
 
 bool Scheduler::PopAndRun() {
   while (!heap_.empty()) {
-    HeapItem item = heap_.top();
-    heap_.pop();
-    auto it = bodies_.find(item.id);
-    if (it == bodies_.end()) continue;  // canceled
+    std::pop_heap(heap_.begin(), heap_.end(), LaterOnHeap{});
+    const HeapItem item = heap_.back();
+    heap_.pop_back();
+    if (!IsLive(item)) {  // canceled; reclaimed lazily
+      heap_dead_--;
+      continue;
+    }
     assert(item.time >= now_);
     now_ = item.time;
-    std::function<void()> fn = std::move(it->second);
-    bodies_.erase(it);
+    const uint32_t index = static_cast<uint32_t>(item.key & kSlotMask);
+    EventFn fn = std::move(slots_[index].fn);
+    FreeSlot(index);
+    live_--;
     executed_++;
     fn();
     return true;
@@ -35,12 +73,14 @@ uint64_t Scheduler::RunUntil(TimeNs t) {
   uint64_t ran = 0;
   while (!heap_.empty()) {
     // Peek for the next live event time without executing.
-    HeapItem item = heap_.top();
-    if (bodies_.find(item.id) == bodies_.end()) {
-      heap_.pop();
+    const HeapItem& top = heap_.front();
+    if (!IsLive(top)) {
+      std::pop_heap(heap_.begin(), heap_.end(), LaterOnHeap{});
+      heap_.pop_back();
+      heap_dead_--;
       continue;
     }
-    if (item.time > t) break;
+    if (top.time > t) break;
     PopAndRun();
     ran++;
   }

@@ -1,21 +1,29 @@
 // Discrete-event scheduler: the heart of the simulator.
 //
 // Events are closures ordered by (virtual time, insertion sequence), which
-// makes every run fully deterministic. Cancellation is supported for
-// timers; canceled events are dropped lazily when popped.
+// makes every run fully deterministic. Storage is a slab with a free list:
+// each pending event lives in a recycled slot and the closure sits inline
+// in the slot (SmallFn) instead of behind a std::function heap
+// allocation. An event's identity is its 64-bit key — insertion sequence
+// in the high bits, slot index in the low bits — so the key is at once
+// the deterministic tie-break, the O(1) cancellation handle, and the
+// generation check that detects stale heap entries (a slot's key changes
+// whenever it is reused; sequences never repeat). The binary heap holds
+// 16-byte (time, key) pairs; canceled entries are skipped lazily on pop
+// and compacted in bulk once they outnumber the live ones.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "common/types.h"
 
 namespace pig::sim {
 
-/// Identifier of a scheduled event (never 0).
+/// Identifier of a scheduled event (never 0): (sequence << 22) | slot.
 using EventId = uint64_t;
 
 class Scheduler {
@@ -24,15 +32,29 @@ class Scheduler {
   TimeNs now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (clamped to now()).
-  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
-
-  /// Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(TimeNs delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  /// The closure is constructed directly into its slab slot.
+  template <typename F>
+  EventId ScheduleAt(TimeNs when, F&& fn) {
+    if (when < now_) when = now_;
+    const uint32_t index = AllocSlot();
+    Slot& slot = slots_[index];
+    slot.fn.emplace(std::forward<F>(fn));
+    const uint64_t key = (next_seq_++ << kSlotBits) | index;
+    slot.key = key;
+    HeapPush(HeapItem{when, key});
+    live_++;
+    return key;
   }
 
-  /// Cancels a pending event; no-op if already fired or unknown.
-  void Cancel(EventId id) { bodies_.erase(id); }
+  /// Schedules `fn` to run `delay` from now.
+  template <typename F>
+  EventId ScheduleAfter(TimeNs delay, F&& fn) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
+  }
+
+  /// Cancels a pending event; no-op if already fired or unknown. O(1):
+  /// frees the slot and leaves the heap entry to be skipped lazily.
+  void Cancel(EventId id);
 
   /// Runs the next pending event. Returns false when none remain.
   bool Step();
@@ -47,28 +69,83 @@ class Scheduler {
   /// Drains every pending event (use with care; timers may self-renew).
   uint64_t RunAll();
 
-  bool empty() const { return bodies_.empty(); }
-  size_t pending() const { return bodies_.size(); }
+  bool empty() const { return live_ == 0; }
+  size_t pending() const { return live_; }
   uint64_t executed_count() const { return executed_; }
 
+  /// Heap entries including not-yet-reclaimed canceled ones (compaction
+  /// keeps this below ~2x pending; exposed for tests).
+  size_t heap_size() const { return heap_.size(); }
+
  private:
+  /// Slot index width. Bounds concurrently-pending events to 4M; the
+  /// remaining 42 bits of sequence last ~5e12 events.
+  static constexpr uint32_t kSlotBits = 22;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr uint32_t kNilIndex = 0xffffffffu;
+  /// Compaction is pointless below this heap size.
+  static constexpr size_t kCompactMinHeap = 64;
+
+  struct Slot {
+    EventFn fn;
+    uint64_t key = 0;  // current occupant's EventId; 0 = slot is free
+    uint32_t next_free = kNilIndex;
+  };
+
   struct HeapItem {
     TimeNs time;
-    EventId id;
-    bool operator>(const HeapItem& o) const {
-      if (time != o.time) return time > o.time;
-      return id > o.id;
+    uint64_t key;  // high bits = insertion seq: deterministic tie-break
+  };
+
+  /// Min-heap comparator for std::*_heap (which build max-heaps).
+  struct LaterOnHeap {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.key > b.key;
     }
   };
 
+  bool IsLive(const HeapItem& item) const {
+    return slots_[item.key & kSlotMask].key == item.key;
+  }
+
+  // Inline: called once per scheduled event from the ScheduleAt template.
+  uint32_t AllocSlot() {
+    if (free_head_ != kNilIndex) {
+      const uint32_t index = free_head_;
+      free_head_ = slots_[index].next_free;
+      return index;
+    }
+    const uint32_t index = static_cast<uint32_t>(slots_.size());
+    // Past kSlotMask the index would bleed into the key's sequence bits
+    // and silently corrupt cancellation, so the bound must hold in
+    // Release too. Checked only on slab growth — off the steady path.
+    if (index > kSlotMask) DieTooManyPendingEvents();
+    slots_.emplace_back();
+    return index;
+  }
+
+  void HeapPush(HeapItem item) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end(), LaterOnHeap{});
+  }
+
+  [[noreturn]] static void DieTooManyPendingEvents();
+  /// Frees a slot back to the free list, invalidating its key.
+  void FreeSlot(uint32_t index);
+  /// Sweeps dead heap entries once they outnumber the live ones.
+  void MaybeCompact();
   /// Pops and runs the earliest live event; false if heap exhausted.
   bool PopAndRun();
 
   TimeNs now_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> bodies_;
+  size_t live_ = 0;
+  size_t heap_dead_ = 0;  // canceled entries still sitting in heap_
+  std::vector<HeapItem> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilIndex;
 };
 
 }  // namespace pig::sim

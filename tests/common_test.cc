@@ -1,10 +1,14 @@
 // Unit tests for common/: Status/Result, codec, RNG, histogram, logging.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "common/codec.h"
+#include "common/flat_set.h"
 #include "common/histogram.h"
+#include "common/small_fn.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -256,6 +260,113 @@ TEST(TypesTest, TimeConversions) {
   EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond), 2.0);
   EXPECT_TRUE(IsClientId(kFirstClientId));
   EXPECT_FALSE(IsClientId(24));
+}
+
+// ---------------------------------------------------------------------------
+// SmallFn: the scheduler's inline event callable.
+
+TEST(SmallFnTest, SmallClosureStaysInline) {
+  int hits = 0;
+  int* p = &hits;
+  auto lambda = [p]() { (*p)++; };
+  static_assert(EventFn::FitsInline<decltype(lambda)>());
+  EventFn fn = lambda;
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFnTest, FatClosureFallsBackToHeapAndStillWorks) {
+  struct Fat {
+    char pad[200];
+    int* counter;
+    void operator()() const { (*counter)++; }
+  };
+  static_assert(!EventFn::FitsInline<Fat>());
+  int hits = 0;
+  Fat fat{};
+  fat.counter = &hits;
+  EventFn fn = fat;
+  fn();
+  EventFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFnTest, MoveTransfersOwnershipExactlyOnce) {
+  // A move-only capture proves no copies happen anywhere in the path.
+  auto owner = std::make_unique<int>(7);
+  int seen = 0;
+  EventFn fn = [owner = std::move(owner), &seen]() { seen = *owner; };
+  EventFn via_move = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EventFn via_assign;
+  via_assign = std::move(via_move);
+  via_assign();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(SmallFnTest, DestructorReleasesCapture) {
+  auto tracker = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracker;
+  {
+    EventFn fn = [tracker = std::move(tracker)]() { (void)*tracker; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallFnTest, EmplaceReplacesTarget) {
+  int a = 0, b = 0;
+  EventFn fn = [&a]() { a++; };
+  fn.emplace([&b]() { b++; });
+  fn();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+// ---------------------------------------------------------------------------
+// FlatSet64: the network's downed-link set.
+
+TEST(FlatSet64Test, InsertContainsErase) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));  // duplicate
+  EXPECT_TRUE(set.insert(0));   // zero is a legal key
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.erase(5));
+  EXPECT_FALSE(set.erase(5));
+  EXPECT_FALSE(set.contains(5));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(FlatSet64Test, GrowsAndMatchesReferenceUnderRandomChurn) {
+  FlatSet64 set;
+  std::set<uint64_t> ref;
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    // A narrow key range maximizes probe-run collisions, stressing the
+    // backward-shift deletion path.
+    uint64_t key = rng.NextBounded(512);
+    if (rng.NextBool(0.6)) {
+      EXPECT_EQ(set.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(set.erase(key), ref.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(set.size(), ref.size());
+  for (uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(set.contains(key), ref.count(key) > 0) << key;
+  }
 }
 
 }  // namespace

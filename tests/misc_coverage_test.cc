@@ -63,18 +63,23 @@ TEST(SchedulerStressTest, HundredThousandEventsStayOrdered) {
   Rng rng(99);
   TimeNs last_seen = -1;
   bool ordered = true;
+  std::vector<sim::EventId> ids;
+  ids.reserve(100000);
   for (int i = 0; i < 100000; ++i) {
     TimeNs when = static_cast<TimeNs>(rng.NextBounded(10 * kSecond));
-    sched.ScheduleAt(when, [&, when]() {
+    ids.push_back(sched.ScheduleAt(when, [&, when]() {
       if (when < last_seen) ordered = false;
       last_seen = when;
-    });
+    }));
   }
-  // Cancel a slice of them (every 7th id happens to exist).
-  for (sim::EventId id = 7; id < 100000; id += 7) sched.Cancel(id);
+  // Cancel a slice of them (ids are opaque; cancel every 7th handle).
+  uint64_t canceled = 0;
+  for (size_t i = 7; i < ids.size(); i += 7, ++canceled) {
+    sched.Cancel(ids[i]);
+  }
   uint64_t ran = sched.RunAll();
   EXPECT_TRUE(ordered);
-  EXPECT_EQ(ran, 100000u - (100000u - 1) / 7);
+  EXPECT_EQ(ran, 100000u - canceled);
 }
 
 TEST(HistogramDistributionTest, ExponentialPercentilesMatchTheory) {

@@ -63,6 +63,80 @@ TEST(SchedulerTest, EventsScheduledInPastRunNow) {
   EXPECT_EQ(sched.now(), 1000);
 }
 
+TEST(SchedulerTest, CancelAfterFireIsNoOpOnReusedSlot) {
+  sim::Scheduler sched;
+  bool second_ran = false;
+  sim::EventId first = sched.ScheduleAt(10, []() {});
+  sched.RunAll();  // fires `first` and frees its slab slot
+  // The next event reuses the freed slot; the stale id must not touch it.
+  sim::EventId second = sched.ScheduleAt(20, [&]() { second_ran = true; });
+  EXPECT_NE(first, second);
+  sched.Cancel(first);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.RunAll();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SchedulerTest, CancelTwiceLeavesReusedSlotAlone) {
+  sim::Scheduler sched;
+  bool survivor_ran = false;
+  sim::EventId doomed = sched.ScheduleAt(10, []() {});
+  sched.Cancel(doomed);
+  // Reuses the slot just freed by the first Cancel.
+  sched.ScheduleAt(20, [&]() { survivor_ran = true; });
+  sched.Cancel(doomed);  // double-cancel: must be a no-op
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_EQ(sched.RunAll(), 1u);
+  EXPECT_TRUE(survivor_ran);
+}
+
+TEST(SchedulerTest, ScheduleInsideHandlerAtCurrentTimeRunsThisRound) {
+  sim::Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(100, [&]() {
+    order.push_back(1);
+    sched.ScheduleAt(100, [&]() { order.push_back(3); });
+  });
+  sched.ScheduleAt(100, [&]() { order.push_back(2); });
+  sched.RunAll();
+  // The nested event shares t=100 but was inserted last, so it runs
+  // after every previously-pending t=100 event.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 100);
+}
+
+TEST(SchedulerTest, CancelInsideHandlerStopsPendingEvent) {
+  sim::Scheduler sched;
+  bool victim_ran = false;
+  sim::EventId victim =
+      sched.ScheduleAt(200, [&]() { victim_ran = true; });
+  sched.ScheduleAt(100, [&]() { sched.Cancel(victim); });
+  sched.RunAll();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerTest, CancelHeavyCompactsHeapLazily) {
+  sim::Scheduler sched;
+  std::vector<sim::EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(sched.ScheduleAt(i, [&fired, i]() { fired.push_back(i); }));
+  }
+  EXPECT_EQ(sched.heap_size(), 1024u);
+  for (int i = 0; i < 1024; ++i) {
+    if (i % 4 != 0) sched.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(sched.pending(), 256u);
+  // Dead entries were swept once they outnumbered the live ones; the
+  // heap never holds more than ~2x the pending events.
+  EXPECT_LE(sched.heap_size(), 2 * sched.pending() + 1);
+  sched.RunAll();
+  ASSERT_EQ(fired.size(), 256u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sched.heap_size(), 0u);
+}
+
 TEST(SchedulerTest, NestedScheduling) {
   sim::Scheduler sched;
   std::vector<TimeNs> fire_times;
@@ -283,6 +357,54 @@ TEST(NetworkTest, RegionalLatencyAndCrossRegionCounting) {
   EXPECT_EQ(network.cross_region_msgs(), 1u);
   (void)network.Transfer(0, 0, 10);
   EXPECT_EQ(network.cross_region_msgs(), 1u);  // intra-region not counted
+}
+
+TEST(NetworkTest, StatsForNeverSeenNodeIsZeroAndAllocationFree) {
+  net::Network network({});
+  // Replica far beyond anything registered, and a client id: both report
+  // zero counters without materializing state.
+  EXPECT_EQ(network.StatsFor(9999).msgs_sent, 0u);
+  EXPECT_EQ(network.StatsFor(sim::Cluster::MakeClientId(77)).bytes_sent, 0u);
+  EXPECT_EQ(network.TotalStats().msgs_sent, 0u);
+
+  (void)network.Transfer(3, 4, 10);
+  network.RecordDelivery(4, 10);
+  // Probing unknown nodes changed nothing.
+  EXPECT_EQ(network.StatsFor(9999).msgs_sent, 0u);
+  EXPECT_EQ(network.TotalStats().msgs_sent, 1u);
+  EXPECT_EQ(network.TotalStats().msgs_received, 1u);
+  // Nodes 0..2 sit below the touched index 3 but were never seen either.
+  EXPECT_EQ(network.StatsFor(0).msgs_sent, 0u);
+  EXPECT_EQ(network.StatsFor(3).msgs_sent, 1u);
+  EXPECT_EQ(network.StatsFor(4).msgs_received, 1u);
+}
+
+TEST(NetworkTest, ClientTrafficIsCountedDensely) {
+  net::Network network({});
+  const NodeId client = sim::Cluster::MakeClientId(5);
+  (void)network.Transfer(client, 0, 64);
+  network.RecordDelivery(client, 32);
+  EXPECT_EQ(network.StatsFor(client).msgs_sent, 1u);
+  EXPECT_EQ(network.StatsFor(client).bytes_sent, 64u);
+  EXPECT_EQ(network.StatsFor(client).bytes_received, 32u);
+  net::TrafficStats total = network.TotalStats();
+  EXPECT_EQ(total.msgs_sent, 1u);
+  EXPECT_EQ(total.bytes_received, 32u);
+  network.ResetStats();
+  EXPECT_EQ(network.StatsFor(client).msgs_sent, 0u);
+  EXPECT_EQ(network.TotalStats().bytes_sent, 0u);
+}
+
+TEST(NetworkTest, PartitionGroupsCoverClients) {
+  net::Network network({});
+  const NodeId client = sim::Cluster::MakeClientId(0);
+  network.SetPartitionGroup(client, 2);
+  EXPECT_FALSE(network.Transfer(client, 0, 10).has_value());
+  EXPECT_FALSE(network.Transfer(0, client, 10).has_value());
+  network.SetPartitionGroup(0, 2);
+  EXPECT_TRUE(network.Transfer(0, client, 10).has_value());
+  network.HealPartitions();
+  EXPECT_TRUE(network.Transfer(client, 1, 10).has_value());
 }
 
 TEST(ClusterTest, DeterministicAcrossRuns) {
