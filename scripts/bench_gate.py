@@ -2,8 +2,10 @@
 """Release-mode throughput regression gate for the simulator hot path.
 
 Runs a pinned subset of bench_micro_core (scheduler churn/cancel, network
-transfer bookkeeping, fig8-style 25-node cluster event rate), writes the
-results to BENCH_<n>.json, and fails if any pinned benchmark's throughput
+transfer bookkeeping, fig8-style 25-node cluster event rate) and
+bench_batching_pipeline (fig8-shaped committed-commands/sec with the
+batching engine off and at batch=8/depth=8), writes the results to
+BENCH_<n>.json, and fails if any pinned benchmark's throughput
 (items/second, median over repetitions) regresses more than --threshold
 relative to the checked-in baseline.
 
@@ -26,16 +28,34 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-# The pinned subset. Names and workload shapes must stay stable across
-# PRs; when one changes intentionally, refresh the baseline in the same
-# commit and explain why in the PR.
-PINNED = [
-    "BM_SchedulerChurn",
-    "BM_SchedulerChurnAtDepth/256",
-    "BM_SchedulerChurnAtDepth/4096",
-    "BM_SchedulerCancelHeavy",
-    "BM_NetworkTransfer",
-    "BM_ClusterFig8Events",
+# The pinned subset, per bench binary. Names and workload shapes must
+# stay stable across PRs; when one changes intentionally, refresh the
+# baseline in the same commit and explain why in the PR.
+PINNED_BY_BINARY = {
+    "bench_micro_core": [
+        "BM_SchedulerChurn",
+        "BM_SchedulerChurnAtDepth/256",
+        "BM_SchedulerChurnAtDepth/4096",
+        "BM_SchedulerCancelHeavy",
+        "BM_NetworkTransfer",
+        "BM_ClusterFig8Events",
+    ],
+    # Committed client commands per wall second on a fig8-shaped 25-node
+    # PigPaxos run: engine off (1/1) and batch=8 x depth=8.
+    "bench_batching_pipeline": [
+        "BM_BatchPipelineFig8/1/1",
+        "BM_BatchPipelineFig8/8/8",
+    ],
+}
+PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]
+
+# Cross-benchmark ratio floors, checked within the same run (independent
+# of the baseline): numerator / denominator must stay >= floor. Guards
+# the batching win itself — a change that speeds the legacy path or
+# erodes the batched path past the acceptance floor fails the gate even
+# after a baseline refresh.
+RATIO_FLOORS = [
+    ("BM_BatchPipelineFig8/8/8", "BM_BatchPipelineFig8/1/1", 1.3),
 ]
 
 
@@ -49,8 +69,8 @@ def default_output_path():
     return os.path.join(REPO_ROOT, "BENCH_%d.json" % (highest + 1))
 
 
-def run_benchmarks(binary, repetitions):
-    bench_filter = "^(%s)$" % "|".join(re.escape(n) for n in PINNED)
+def run_one_binary(binary, names, repetitions):
+    bench_filter = "^(%s)$" % "|".join(re.escape(n) for n in names)
     cmd = [
         binary,
         "--benchmark_filter=%s" % bench_filter,
@@ -79,17 +99,34 @@ def run_benchmarks(binary, repetitions):
             "real_time": bench.get("real_time", 0.0),
             "time_unit": bench.get("time_unit", "ns"),
         }
+    return medians, report.get("context", {})
+
+
+def run_benchmarks(build_dir, repetitions):
+    medians = {}
+    context = {}
+    for binary_name, names in PINNED_BY_BINARY.items():
+        binary = os.path.join(build_dir, binary_name)
+        if not os.path.exists(binary):
+            raise SystemExit(
+                "error: %s not found; build Release first:\n"
+                "  cmake -B %s -S . -DCMAKE_BUILD_TYPE=Release && "
+                "cmake --build %s -j" % (binary, build_dir, build_dir))
+        bin_medians, bin_context = run_one_binary(binary, names, repetitions)
+        medians.update(bin_medians)
+        context = context or bin_context
     missing = [n for n in PINNED if n not in medians]
     if missing:
         raise SystemExit("error: pinned benchmarks missing from run: %s"
                          % ", ".join(missing))
-    return medians, report.get("context", {})
+    return medians, context
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build-release",
-                        help="Release build dir containing bench_micro_core")
+                        help="Release build dir containing the pinned "
+                             "bench binaries")
     parser.add_argument("--baseline",
                         default=os.path.join(REPO_ROOT, "bench",
                                              "bench_baseline.json"))
@@ -104,14 +141,7 @@ def main():
                         help="rewrite the baseline with this run's numbers")
     args = parser.parse_args()
 
-    binary = os.path.join(args.build_dir, "bench_micro_core")
-    if not os.path.exists(binary):
-        raise SystemExit(
-            "error: %s not found; build Release first:\n"
-            "  cmake -B %s -S . -DCMAKE_BUILD_TYPE=Release && "
-            "cmake --build %s -j" % (binary, args.build_dir, args.build_dir))
-
-    medians, context = run_benchmarks(binary, args.repetitions)
+    medians, context = run_benchmarks(args.build_dir, args.repetitions)
 
     baseline = None
     if os.path.exists(args.baseline):
@@ -140,6 +170,17 @@ def main():
                 unbaselined.append(name)
         comparisons[name] = entry
 
+    ratio_failures = []
+    ratio_checks = {}
+    for num, den, floor in RATIO_FLOORS:
+        den_ips = medians[den]["items_per_second"]
+        ratio = (medians[num]["items_per_second"] / den_ips
+                 if den_ips > 0 else float("inf"))
+        key = "%s / %s" % (num, den)
+        ratio_checks[key] = {"ratio": ratio, "floor": floor}
+        if ratio < floor:
+            ratio_failures.append("%s = %.2f < %.2f" % (key, ratio, floor))
+
     result = {
         "threshold": args.threshold,
         "repetitions": args.repetitions,
@@ -148,9 +189,11 @@ def main():
         "host": {k: context.get(k) for k in
                  ("host_name", "num_cpus", "mhz_per_cpu", "library_version")},
         "benchmarks": comparisons,
+        "ratio_checks": ratio_checks,
         "regressions": regressions,
         "missing_from_baseline": unbaselined,
-        "pass": not regressions and not unbaselined,
+        "ratio_failures": ratio_failures,
+        "pass": not regressions and not unbaselined and not ratio_failures,
     }
 
     output = args.output or default_output_path()
@@ -178,6 +221,14 @@ def main():
             f.write("\n")
         print("baseline refreshed: %s" % args.baseline)
         return 0
+
+    for key, check in ratio_checks.items():
+        print("  ratio %-44s %.2f (floor %.2f)"
+              % (key, check["ratio"], check["floor"]))
+    if ratio_failures:
+        print("FAIL: in-run throughput ratio below floor: %s"
+              % "; ".join(ratio_failures))
+        return 1
 
     if baseline is None:
         print("warning: no baseline at %s; gate passes vacuously "

@@ -83,7 +83,12 @@ void ClosedLoopClient::OnMessage(NodeId from, const MessagePtr& msg) {
   (void)from;
   if (msg->type() != MsgType::kClientReply) return;
   const auto& reply = static_cast<const pig::ClientReply&>(*msg);
-  if (reply.seq != seq_) return;  // stale reply for an older request
+  if (reply.seq != seq_) {  // stale reply for an older request
+    // Only successes count as stale *replies* — a late NotLeader bounce
+    // for a superseded request involved no execution at all.
+    if (reply.code == StatusCode::kOk) recorder_->RecordStaleReply();
+    return;
+  }
 
   if (reply.code == StatusCode::kNotLeader) {
     recorder_->RecordRedirect();
@@ -97,13 +102,24 @@ void ClosedLoopClient::OnMessage(NodeId from, const MessagePtr& msg) {
       env_->CancelTimer(timeout_timer_);
       timeout_timer_ = kInvalidTimer;
     }
-    env_->SetTimer(config_.redirect_backoff, [this]() { SendCurrent(); });
+    if (backoff_timer_ == kInvalidTimer) {
+      backoff_timer_ = env_->SetTimer(config_.redirect_backoff, [this]() {
+        backoff_timer_ = kInvalidTimer;
+        SendCurrent();
+      });
+    }
     return;
   }
 
   if (timeout_timer_ != kInvalidTimer) {
     env_->CancelTimer(timeout_timer_);
     timeout_timer_ = kInvalidTimer;
+  }
+  // The request may complete while a redirect backoff is pending (the
+  // old leader executed a batched slot after bouncing our resend).
+  if (backoff_timer_ != kInvalidTimer) {
+    env_->CancelTimer(backoff_timer_);
+    backoff_timer_ = kInvalidTimer;
   }
   recorder_->RecordCompletion(issued_at_, env_->Now(),
                               current_.op == OpType::kGet);

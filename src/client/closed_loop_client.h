@@ -37,10 +37,15 @@ class Recorder {
   void RecordCompletion(TimeNs issued_at, TimeNs completed_at, bool is_read);
   void RecordRedirect() { redirects_++; }
   void RecordTimeout() { timeouts_++; }
+  /// A reply for an already-completed request (duplicate delivery after a
+  /// resend, or a batched execution racing a redirect). Harmless — dedup
+  /// at the replicas guarantees single execution — but worth counting.
+  void RecordStaleReply() { stale_replies_++; }
 
   uint64_t completed() const { return completed_; }
   uint64_t redirects() const { return redirects_; }
   uint64_t timeouts() const { return timeouts_; }
+  uint64_t stale_replies() const { return stale_replies_; }
   const Histogram& latency() const { return latency_; }
 
   /// Requests per second over the measurement window.
@@ -56,6 +61,7 @@ class Recorder {
   uint64_t completed_ = 0;
   uint64_t redirects_ = 0;
   uint64_t timeouts_ = 0;
+  uint64_t stale_replies_ = 0;
   Histogram latency_;
   std::vector<uint64_t> timeline_;
 };
@@ -108,6 +114,11 @@ class ClosedLoopClient : public Actor {
   TimeNs issued_at_ = 0;
   NodeId target_ = kInvalidNode;
   TimerId timeout_timer_ = kInvalidTimer;
+  // Pending post-redirect resend. Tracked so a success reply that races
+  // the backoff (a batched commit completing after the leader bounced a
+  // later duplicate) cancels the now-stale resend instead of letting it
+  // re-send the *next* command early.
+  TimerId backoff_timer_ = kInvalidTimer;
 };
 
 }  // namespace pig::client

@@ -35,6 +35,7 @@ enum class MsgType : uint8_t {
   // PigPaxos relay envelope (pigpaxos/messages.h)
   kRelayRequest = 20,
   kRelayResponse = 21,
+  kRelayBundle = 22,  ///< Several RelayResponses coalesced per uplink.
   // EPaxos (epaxos/messages.h)
   kPreAccept = 30,
   kPreAcceptReply = 31,

@@ -48,6 +48,9 @@ paxos::PaxosOptions MakePaxosOptions(const ExperimentConfig& config) {
     opt.quorum = std::make_shared<pig::FlexibleQuorum>(
         config.num_replicas, config.flexible_q1, config.flexible_q2);
   }
+  opt.batch_size = config.batch_size;
+  opt.batch_timeout = config.batch_timeout;
+  opt.pipeline_depth = config.pipeline_depth;
   return opt;
 }
 
@@ -84,6 +87,8 @@ RunResult RunExperiment(const ExperimentConfig& config) {
         popt.group_response_threshold = config.group_response_threshold;
         popt.relay_layers = config.relay_layers;
         popt.reshuffle_interval = config.reshuffle_interval;
+        popt.uplink_coalesce_max = config.uplink_coalesce_max;
+        popt.uplink_flush_delay = config.uplink_flush_delay;
         if (config.topology == Topology::kWanVaCaOr) {
           // One relay group per region (§6.4).
           popt.grouping = pigpaxos::GroupingStrategy::kRegion;
@@ -163,13 +168,25 @@ RunResult RunExperiment(const ExperimentConfig& config) {
       result.elections_started += rep->metrics().elections_started;
       result.propose_retries += rep->metrics().propose_retries;
       result.log_syncs += rep->metrics().log_syncs;
+      result.batches_proposed += rep->metrics().batches_proposed;
+      result.batched_commands += rep->metrics().batched_commands;
+      result.batch_timeout_flushes += rep->metrics().batch_timeout_flushes;
+      result.pipeline_stalls += rep->metrics().pipeline_stalls;
       if (config.protocol == Protocol::kPigPaxos) {
         const auto* pig =
             static_cast<const pigpaxos::PigPaxosReplica*>(cluster.actor(id));
         result.relay_timeouts += pig->relay_metrics().relay_timeouts;
         result.relay_early_batches += pig->relay_metrics().early_batches;
+        result.uplink_bundles += pig->relay_metrics().uplink_bundles;
+        result.uplink_coalesced += pig->relay_metrics().uplink_coalesced;
       }
     }
+  }
+  result.stale_replies = recorder->stale_replies();
+  if (result.batches_proposed > 0) {
+    result.mean_batch_size =
+        static_cast<double>(result.batched_commands) /
+        static_cast<double>(result.batches_proposed);
   }
   return result;
 }

@@ -33,12 +33,19 @@ struct ExperimentConfig {
   size_t num_clients = 20;
   client::WorkloadConfig workload;
 
+  // --- Batching + pipelining (Paxos and PigPaxos; off by default) -------
+  size_t batch_size = 1;          ///< Commands per log slot (1 = off).
+  TimeNs batch_timeout = 200 * kMicrosecond;  ///< Partial-batch flush.
+  size_t pipeline_depth = 1;      ///< Uncommitted slots in flight.
+
   // --- PigPaxos-specific ------------------------------------------------
   size_t relay_groups = 2;
   TimeNs relay_timeout = 50 * kMillisecond;
   size_t group_response_threshold = 0;  ///< §4.2 partial responses.
   uint32_t relay_layers = 1;            ///< §6.3 multi-layer trees.
   TimeNs reshuffle_interval = 0;        ///< §4.1 dynamic regrouping.
+  size_t uplink_coalesce_max = 1;       ///< Relay uplink bundling (1=off).
+  TimeNs uplink_flush_delay = 100 * kMicrosecond;
 
   /// Flexible quorum sizes (0 = classic majority). Applies to Paxos and
   /// PigPaxos (§2.2).
@@ -91,6 +98,19 @@ struct RunResult {
   uint64_t log_syncs = 0;
   uint64_t relay_timeouts = 0;   ///< PigPaxos only.
   uint64_t relay_early_batches = 0;
+  uint64_t stale_replies = 0;    ///< Duplicate replies clients discarded.
+
+  // Batching/pipelining counters (zero while the engine is off).
+  uint64_t batches_proposed = 0;
+  uint64_t batched_commands = 0;
+  uint64_t batch_timeout_flushes = 0;
+  uint64_t pipeline_stalls = 0;
+  uint64_t uplink_bundles = 0;       ///< PigPaxos relay uplink coalescing.
+  uint64_t uplink_coalesced = 0;
+
+  /// Mean commands per proposed slot over the whole run (1.0 when the
+  /// batching engine is off or nothing was proposed through it).
+  double mean_batch_size = 1.0;
 };
 
 /// Builds the cluster, runs warmup + measurement, and collects results.

@@ -180,6 +180,21 @@ Status LogSyncRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
   return Status::Ok();
 }
 
+void ClientSeqRecord::Encode(Encoder& enc) const {
+  enc.PutU32(client);
+  enc.PutU64(seq);
+  enc.PutBytes(value);
+  enc.PutI64(slot);
+}
+
+Status ClientSeqRecord::Decode(Decoder& dec, ClientSeqRecord* out) {
+  Status s;
+  if (!(s = dec.GetU32(&out->client)).ok()) return s;
+  if (!(s = dec.GetU64(&out->seq)).ok()) return s;
+  if (!(s = dec.GetBytes(&out->value)).ok()) return s;
+  return dec.GetI64(&out->slot);
+}
+
 void LogSyncResponse::EncodeBody(Encoder& enc) const {
   ballot.Encode(enc);
   enc.PutI64(commit_index);
@@ -190,6 +205,8 @@ void LogSyncResponse::EncodeBody(Encoder& enc) const {
     enc.PutBytes(k);
     enc.PutBytes(v);
   }
+  enc.PutVarint(client_records.size());
+  for (const ClientSeqRecord& r : client_records) r.Encode(enc);
 }
 
 Status LogSyncResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
@@ -206,6 +223,12 @@ Status LogSyncResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
   for (auto& [k, v] : m->snapshot) {
     if (!(s = dec.GetBytes(&k)).ok()) return s;
     if (!(s = dec.GetBytes(&v)).ok()) return s;
+  }
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("records too big");
+  m->client_records.resize(static_cast<size_t>(n));
+  for (ClientSeqRecord& r : m->client_records) {
+    if (!(s = ClientSeqRecord::Decode(dec, &r)).ok()) return s;
   }
   *out = std::move(m);
   return Status::Ok();

@@ -114,16 +114,30 @@ struct LogSyncRequest final : Message {
   static Status DecodeBody(Decoder& dec, MessagePtr* out);
 };
 
+/// One client's execution-dedup record, shipped with snapshots so a
+/// freshly restored follower keeps exactly-once apply semantics.
+struct ClientSeqRecord {
+  NodeId client = kInvalidNode;
+  uint64_t seq = 0;
+  std::string value;   ///< Cached result of that seq (reply cache).
+  SlotId slot = kInvalidSlot;
+
+  void Encode(Encoder& enc) const;
+  static Status Decode(Decoder& dec, ClientSeqRecord* out);
+};
+
 /// Leader's catch-up payload of committed entries. When the follower is
 /// so far behind that the requested slots were already compacted, the
 /// response carries a state-machine snapshot (`snapshot_upto` >= 0): the
-/// KV contents as of that slot, plus committed entries above it.
+/// KV contents as of that slot, the per-client dedup records, plus
+/// committed entries above it.
 struct LogSyncResponse final : Message {
   Ballot ballot;
   SlotId commit_index = kInvalidSlot;
   std::vector<AcceptedEntry> entries;
   SlotId snapshot_upto = kInvalidSlot;  ///< kInvalidSlot = no snapshot.
   std::vector<std::pair<std::string, std::string>> snapshot;
+  std::vector<ClientSeqRecord> client_records;
 
   bool has_snapshot() const { return snapshot_upto != kInvalidSlot; }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 #include "common/logging.h"
+#include "statemachine/batch.h"
 
 namespace pig::paxos {
 
@@ -31,6 +33,7 @@ void PaxosReplica::OnStart() {
   role_ = Role::kFollower;
   pending_.clear();
   p1_tally_.reset();
+  ResetBatchState();
   last_leader_contact_ = env_->Now();
   ArmElectionTimer();
   if (id_ == options_.bootstrap_leader && promised_.IsZero()) {
@@ -159,10 +162,11 @@ MessagePtr PaxosReplica::HandleP2a(const P2a& msg) {
     }
     promised_ = msg.ballot;
     NoteLeaderContact(msg.ballot);
-    if (msg.command.IsWrite()) {
-      SlotId& mark = key_accept_watermark_[msg.command.key];
+    ForEachCommand(msg.command, [&](const Command& cmd) {
+      if (!cmd.IsWrite()) return;
+      SlotId& mark = key_accept_watermark_[cmd.key];
       mark = std::max(mark, msg.slot);
-    }
+    });
     Status s = log_.Accept(msg.slot, msg.ballot, msg.command);
     if (!s.ok()) {
       PIG_LOG(kError) << "replica " << id_ << ": accept failed: "
@@ -249,6 +253,17 @@ void PaxosReplica::HandleLogSyncRequest(NodeId from,
     // snapshot as of our executed prefix, then ship entries above it.
     resp->snapshot_upto = log_.executed_upto();
     for (auto& [k, v] : store_.Dump()) resp->snapshot.emplace_back(k, v);
+    // Dedup records travel with the snapshot: without them the restored
+    // follower would re-apply a duplicate slot the donors skip, forking
+    // the state machines. Emit in client order for determinism.
+    std::map<NodeId, const ClientRecord*> ordered;
+    for (const auto& [client, rec] : client_records_) {
+      ordered.emplace(client, &rec);
+    }
+    for (const auto& [client, rec] : ordered) {
+      resp->client_records.push_back(
+          ClientSeqRecord{client, rec->seq, rec->value, rec->slot});
+    }
     start = resp->snapshot_upto + 1;
   }
   // Bound one response; the follower re-requests the remainder.
@@ -265,6 +280,14 @@ void PaxosReplica::HandleLogSyncRequest(NodeId from,
 void PaxosReplica::HandleLogSyncResponse(const LogSyncResponse& resp) {
   if (resp.has_snapshot() && resp.snapshot_upto > log_.executed_upto()) {
     store_.Restore(resp.snapshot);
+    for (const ClientSeqRecord& r : resp.client_records) {
+      ClientRecord& rec = client_records_[r.client];
+      if (r.seq > rec.seq) {
+        rec.seq = r.seq;
+        rec.value = r.value;
+        rec.slot = r.slot;
+      }
+    }
     log_.FastForwardTo(resp.snapshot_upto);
     PIG_LOG(kInfo) << "replica " << id_ << ": installed snapshot upto slot "
                    << resp.snapshot_upto;
@@ -406,6 +429,9 @@ void PaxosReplica::StepDown(const Ballot& higher) {
   client_pending_.clear();
   p1_tally_.reset();
   p1_adopted_.clear();
+  // Queued-but-unproposed commands are abandoned; their clients retry
+  // against the new leader (client_pending_ was just cleared).
+  ResetBatchState();
   if (heartbeat_timer_ != kInvalidTimer) {
     env_->CancelTimer(heartbeat_timer_);
     heartbeat_timer_ = kInvalidTimer;
@@ -447,14 +473,87 @@ void PaxosReplica::Propose(const Command& cmd, NodeId client) {
   client_pending_[client] = cmd.seq;
 
   metrics_.proposals++;
-  ProposeAt(next_slot_++, cmd);
+  if (!PipelineEngaged()) {
+    ProposeAt(next_slot_++, cmd);
+    return;
+  }
+  batch_queue_.push_back(cmd);
+  MaybeFlushBatches(/*flush_partial=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Batching/pipelining engine. Commands admitted by Propose() queue here;
+// a slot is filled when batch_size commands are waiting (size trigger) or
+// batch_timeout elapsed (time trigger), subject to at most pipeline_depth
+// uncommitted slots in flight. Disabled (batch_size == pipeline_depth ==
+// 1) the engine is bypassed entirely and proposals take the legacy
+// immediate path above.
+
+void PaxosReplica::MaybeFlushBatches(bool flush_partial) {
+  // flushing_ breaks the ProposeAt -> instant CommitSlot -> re-enter
+  // cycle a single-node cluster would otherwise recurse through; the
+  // outer loop below observes the freed window and continues.
+  if (role_ != Role::kLeader || batch_queue_.empty() || flushing_) return;
+  flushing_ = true;
+  const size_t depth = std::max<size_t>(1, options_.pipeline_depth);
+  const size_t full = std::max<size_t>(1, options_.batch_size);
+  while (!batch_queue_.empty() && pending_.size() < depth &&
+         (flush_partial || batch_queue_.size() >= full)) {
+    FlushBatch(std::min(full, batch_queue_.size()));
+  }
+  flushing_ = false;
+  if (!batch_queue_.empty()) {
+    if (pending_.size() >= depth &&
+        (flush_partial || batch_queue_.size() >= full)) {
+      // A flushable batch is waiting on the window; the commit that
+      // frees a slot re-enters this function.
+      metrics_.pipeline_stalls++;
+    }
+    ArmBatchTimer();
+  }
+}
+
+void PaxosReplica::FlushBatch(size_t count) {
+  std::vector<Command> cmds;
+  cmds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    cmds.push_back(std::move(batch_queue_.front()));
+    batch_queue_.pop_front();
+  }
+  metrics_.batches_proposed++;
+  metrics_.batched_commands += count;
+  ProposeAt(next_slot_++, BatchCommand::Wrap(std::move(cmds)));
+}
+
+void PaxosReplica::ResetBatchState() {
+  batch_queue_.clear();
+  if (batch_timer_ != kInvalidTimer) {
+    env_->CancelTimer(batch_timer_);
+    batch_timer_ = kInvalidTimer;
+  }
+}
+
+void PaxosReplica::ArmBatchTimer() {
+  if (batch_timer_ != kInvalidTimer) return;
+  batch_timer_ =
+      env_->SetTimer(options_.batch_timeout, [this]() { OnBatchTimeout(); });
+}
+
+void PaxosReplica::OnBatchTimeout() {
+  batch_timer_ = kInvalidTimer;
+  if (role_ != Role::kLeader || batch_queue_.empty()) return;
+  const uint64_t before = metrics_.batches_proposed;
+  MaybeFlushBatches(/*flush_partial=*/true);
+  // The window may have been full; only a flush that happened counts.
+  if (metrics_.batches_proposed > before) metrics_.batch_timeout_flushes++;
 }
 
 void PaxosReplica::ProposeAt(SlotId slot, const Command& cmd) {
-  if (cmd.IsWrite()) {
-    SlotId& mark = key_accept_watermark_[cmd.key];
+  ForEachCommand(cmd, [&](const Command& c) {
+    if (!c.IsWrite()) return;
+    SlotId& mark = key_accept_watermark_[c.key];
     mark = std::max(mark, slot);
-  }
+  });
   Status s = log_.Accept(slot, promised_, cmd);
   if (!s.ok()) {
     PIG_LOG(kError) << "replica " << id_ << ": self-accept failed: "
@@ -487,7 +586,20 @@ void PaxosReplica::HandleP2b(const P2b& msg) {
   if (role_ != Role::kLeader || msg.ballot != promised_) return;
   auto it = pending_.find(msg.slot);
   if (it == pending_.end()) return;  // already committed or superseded
-  if (it->second.tally->Ack(msg.sender)) CommitSlot(msg.slot);
+  const bool duplicate =
+      options_.test_fault_count_duplicate_votes &&
+      it->second.tally->acks().count(msg.sender) > 0;
+  if (it->second.tally->Ack(msg.sender)) {
+    CommitSlot(msg.slot);
+    return;
+  }
+  if (duplicate) {
+    // Deliberate fault (conformance harness): the reverted dedup counts
+    // this re-delivered vote under a synthetic voter id.
+    const NodeId fake = kInvalidNode - 1 - static_cast<NodeId>(
+                            fault_dup_votes_++ % 1024);
+    if (it->second.tally->Ack(fake)) CommitSlot(msg.slot);
+  }
 }
 
 void PaxosReplica::CommitSlot(SlotId slot) {
@@ -500,31 +612,17 @@ void PaxosReplica::CommitSlot(SlotId slot) {
   }
   metrics_.commits++;
   ExecuteReady();
+  // A committed slot frees one pipeline-window seat.
+  if (PipelineEngaged()) MaybeFlushBatches(/*flush_partial=*/false);
 }
 
 void PaxosReplica::ExecuteReady() {
   while (auto slot = log_.NextExecutable()) {
     const LogEntry* e = log_.Get(*slot);
-    std::string value = store_.Apply(e->command);
-    metrics_.executions++;
-    const Command& cmd = e->command;
-    if (cmd.IsWrite()) key_exec_slot_[cmd.key] = *slot;
-    if (!cmd.IsNoop() && cmd.client != kInvalidNode) {
-      ClientRecord& rec = client_records_[cmd.client];
-      if (cmd.seq > rec.seq) {
-        rec.seq = cmd.seq;
-        rec.value = value;
-        rec.slot = *slot;
-      }
-      auto pend = client_pending_.find(cmd.client);
-      if (pend != client_pending_.end() && pend->second <= cmd.seq) {
-        client_pending_.erase(pend);
-      }
-      if (role_ == Role::kLeader) {
-        ReplyToClient(cmd.client, cmd.seq, StatusCode::kOk, std::move(value),
-                      *slot);
-      }
-    }
+    // Batched slots unroll so every client command keeps its own reply,
+    // dedup record, and watermark bookkeeping.
+    ForEachCommand(e->command,
+                   [&](const Command& cmd) { ExecuteOne(cmd, *slot); });
     log_.MarkExecuted(*slot);
   }
   // Compaction: keep a bounded window of executed history.
@@ -533,6 +631,43 @@ void PaxosReplica::ExecuteReady() {
   if (executed - log_.first_slot() > 2 * window) {
     log_.CompactUpTo(executed - window);
   }
+}
+
+void PaxosReplica::ExecuteOne(const Command& cmd, SlotId slot) {
+  // Exactly-once execution: the same (client, seq) can legitimately land
+  // in two committed slots — a new leader re-proposes an adopted entry
+  // while the client's resend earns a fresh slot — and pipelining widens
+  // that window. The state machine must apply it only once, or a write
+  // re-applied after an interleaved overwrite resurrects a dead value.
+  if (!cmd.IsNoop() && cmd.client != kInvalidNode) {
+    ClientRecord& rec = client_records_[cmd.client];
+    if (cmd.seq <= rec.seq) {
+      if (role_ == Role::kLeader) {
+        // Duplicate of an executed command: reply from the record cache.
+        ReplyToClient(cmd.client, cmd.seq, StatusCode::kOk,
+                      cmd.seq == rec.seq ? rec.value : "", rec.slot);
+      }
+      return;
+    }
+    std::string value = store_.Apply(cmd);
+    metrics_.executions++;
+    if (cmd.IsWrite()) key_exec_slot_[cmd.key] = slot;
+    rec.seq = cmd.seq;
+    rec.value = value;
+    rec.slot = slot;
+    auto pend = client_pending_.find(cmd.client);
+    if (pend != client_pending_.end() && pend->second <= cmd.seq) {
+      client_pending_.erase(pend);
+    }
+    if (role_ == Role::kLeader) {
+      ReplyToClient(cmd.client, cmd.seq, StatusCode::kOk, std::move(value),
+                    slot);
+    }
+    return;
+  }
+  store_.Apply(cmd);
+  metrics_.executions++;
+  if (cmd.IsWrite()) key_exec_slot_[cmd.key] = slot;
 }
 
 void PaxosReplica::ReplyToClient(NodeId client, uint64_t seq,

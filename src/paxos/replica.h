@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -71,6 +72,32 @@ struct PaxosOptions {
 
   /// Executed slots beyond this window are compacted away.
   size_t compaction_window = 8192;
+
+  // --- Batching + pipelining (off by default) ---------------------------
+  // The engine engages only when batch_size > 1 or pipeline_depth > 1;
+  // at the defaults every proposal takes the legacy immediate path, so
+  // existing traces stay byte-identical.
+
+  /// Max client commands packed into one log slot (kBatch carrier).
+  /// 1 = batching off.
+  size_t batch_size = 1;
+
+  /// A partially filled batch is flushed this long after its oldest
+  /// command was enqueued (size- and time-triggered batching). Only
+  /// meaningful when the engine is engaged.
+  TimeNs batch_timeout = 200 * kMicrosecond;
+
+  /// Max uncommitted slots the leader keeps in flight; further batches
+  /// queue until a slot commits. 1 = strict one-batch-at-a-time when the
+  /// engine is engaged (and, with batch_size == 1, the engine is off).
+  size_t pipeline_depth = 1;
+
+  /// Conformance-harness fault injection ONLY (tests/conformance.h):
+  /// deliberately reverts the duplicate-vote dedup so a follower's P2b
+  /// delivered twice (overlapping relay groups) counts twice. Proves the
+  /// randomized harness catches quorum-math regressions. Never enable
+  /// outside tests.
+  bool test_fault_count_duplicate_votes = false;
 };
 
 /// Counters exposed for tests and benches.
@@ -83,6 +110,12 @@ struct ReplicaMetrics {
   uint64_t redirects = 0;        ///< Client requests bounced to the leader.
   uint64_t propose_retries = 0;  ///< Phase-2 re-broadcasts.
   uint64_t log_syncs = 0;        ///< Catch-up requests served.
+
+  // Batching/pipelining engine (zero while the engine is off).
+  uint64_t batches_proposed = 0;   ///< Slots proposed through the batcher.
+  uint64_t batched_commands = 0;   ///< Client commands those slots carried.
+  uint64_t batch_timeout_flushes = 0;  ///< Time-triggered partial flushes.
+  uint64_t pipeline_stalls = 0;    ///< Flushes deferred by a full window.
 };
 
 class PaxosReplica : public Actor {
@@ -160,6 +193,17 @@ class PaxosReplica : public Actor {
   void CommitSlot(SlotId slot);
   void AdvanceCommit(SlotId upto, const Ballot& ballot);
   void ExecuteReady();
+  void ExecuteOne(const Command& cmd, SlotId slot);
+
+  // Batching/pipelining engine (leader side).
+  bool PipelineEngaged() const {
+    return options_.batch_size > 1 || options_.pipeline_depth > 1;
+  }
+  void MaybeFlushBatches(bool flush_partial);
+  void FlushBatch(size_t count);
+  void ResetBatchState();
+  void ArmBatchTimer();
+  void OnBatchTimeout();
   void MaybeRequestSync(SlotId target_ci);
   void NoteLeaderContact(const Ballot& ballot);
   void ReplyToClient(NodeId client, uint64_t seq, StatusCode code,
@@ -197,6 +241,13 @@ class PaxosReplica : public Actor {
     TimeNs proposed_at = 0;
   };
   std::unordered_map<SlotId, Pending> pending_;
+
+  // Batching/pipelining engine state: commands admitted but not yet
+  // assigned a slot, oldest first.
+  std::deque<Command> batch_queue_;
+  TimerId batch_timer_ = kInvalidTimer;
+  bool flushing_ = false;         // re-entrancy guard (instant commits)
+  uint64_t fault_dup_votes_ = 0;  // synthetic voter ids (fault injection)
 
   // In-flight client seq per client (duplicate-suppression at the leader).
   std::unordered_map<NodeId, uint64_t> client_pending_;

@@ -101,12 +101,44 @@ std::string RelayResponse::DebugString() const {
   return buf;
 }
 
+void RelayBundle::EncodeBody(Encoder& enc) const {
+  enc.PutU32(sender);
+  enc.PutVarint(responses.size());
+  for (const MessagePtr& r : responses) EncodeNested(enc, r);
+}
+
+Status RelayBundle::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = std::make_shared<RelayBundle>();
+  Status s;
+  if (!(s = dec.GetU32(&m->sender)).ok()) return s;
+  uint64_t n = 0;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("bundle count");
+  m->responses.resize(static_cast<size_t>(n));
+  for (auto& r : m->responses) {
+    if (!(s = DecodeNested(dec, &r)).ok()) return s;
+    if (r->type() != MsgType::kRelayResponse) {
+      return Status::Corruption("bundle holds non-RelayResponse");
+    }
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string RelayBundle::DebugString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "RelayBundle{from=%u, %zu responses}",
+                sender, responses.size());
+  return buf;
+}
+
 void RegisterPigPaxosMessages() {
   pig::RegisterCommonMessages();
   paxos::RegisterPaxosMessages();
   RegisterMessageDecoder(MsgType::kRelayRequest, &RelayRequest::DecodeBody);
   RegisterMessageDecoder(MsgType::kRelayResponse,
                          &RelayResponse::DecodeBody);
+  RegisterMessageDecoder(MsgType::kRelayBundle, &RelayBundle::DecodeBody);
 }
 
 }  // namespace pig::pigpaxos

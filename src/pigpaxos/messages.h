@@ -72,6 +72,23 @@ struct RelayResponse final : Message {
   std::string DebugString() const override;
 };
 
+/// Relay -> leader uplink carrying several RelayResponses for different
+/// rounds/slots in one message. With commit pipelining multiple slots'
+/// aggregations complete close together at a relay; coalescing them
+/// amortizes the per-message cost on the leader's fan-in path, which is
+/// exactly the bottleneck PigPaxos set out to relieve.
+struct RelayBundle final : Message {
+  NodeId sender = kInvalidNode;
+
+  /// The bundled envelopes (each a RelayResponse).
+  std::vector<MessagePtr> responses;
+
+  MsgType type() const override { return MsgType::kRelayBundle; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
 /// Registers PigPaxos envelope decoders (and the Paxos + common decoders
 /// they nest).
 void RegisterPigPaxosMessages();

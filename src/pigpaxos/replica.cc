@@ -39,6 +39,11 @@ PigPaxosReplica::~PigPaxosReplica() = default;
 
 void PigPaxosReplica::OnStart() {
   PaxosReplica::OnStart();
+  // Post-crash recovery: held uplink responses died with our timers.
+  for (auto& [to, buf] : uplink_) {
+    if (buf.timer != kInvalidTimer) env_->CancelTimer(buf.timer);
+  }
+  uplink_.clear();
   if (pig_options_.reshuffle_interval > 0 &&
       reshuffle_timer_ == kInvalidTimer) {
     reshuffle_timer_ = env_->SetTimer(pig_options_.reshuffle_interval,
@@ -154,6 +159,9 @@ void PigPaxosReplica::OnMessage(NodeId from, const MessagePtr& msg) {
     case MsgType::kRelayResponse:
       HandleRelayResponse(from, static_cast<const RelayResponse&>(*msg));
       return;
+    case MsgType::kRelayBundle:
+      HandleRelayBundle(from, static_cast<const RelayBundle&>(*msg));
+      return;
     default:
       PaxosReplica::OnMessage(from, msg);
   }
@@ -183,7 +191,7 @@ void PigPaxosReplica::HandleRelayRequest(NodeId from,
       resp->relay_id = req.relay_id;
       resp->sender = id();
       resp->responses.push_back(std::move(own_response));
-      env_->Send(from, std::move(resp));
+      SendUplink(from, std::move(resp), /*counts_as_early=*/false);
     }
     return;
   }
@@ -212,7 +220,7 @@ void PigPaxosReplica::HandleRelayRequest(NodeId from,
       // this early reject is not the round's final batch.
       resp->final_batch = false;
       resp->responses.push_back(std::move(own_response));
-      env_->Send(from, std::move(resp));
+      SendUplink(from, std::move(resp), /*counts_as_early=*/false);
       agg.collected = 1;
     } else {
       agg.buffer.push_back(std::move(own_response));
@@ -337,7 +345,7 @@ void PigPaxosReplica::AddResponse(Aggregation& agg, uint64_t relay_id,
     out->sender = id();
     out->final_batch = false;
     out->responses.push_back(std::move(resp));
-    env_->Send(agg.requester, std::move(out));
+    SendUplink(agg.requester, std::move(out), /*counts_as_early=*/false);
     return;
   }
   agg.buffer.push_back(std::move(resp));
@@ -358,9 +366,75 @@ void PigPaxosReplica::FlushAggregation(uint64_t relay_id, Aggregation& agg,
   out->responses = std::move(agg.buffer);
   agg.buffer.clear();
   relay_metrics_.aggregates_sent++;
-  if (!final_batch) relay_metrics_.early_batches++;
-  env_->Send(agg.requester, std::move(out));
+  // early_batches is counted when the uplink message actually departs
+  // (SendUplink/FlushUplink): coalescing can fold several rounds' partial
+  // flushes into one physical uplink, which must count once.
+  SendUplink(agg.requester, std::move(out),
+             /*counts_as_early=*/!final_batch);
   agg.first_sent = true;
+}
+
+// ---------------------------------------------------------------------------
+// Uplink coalescing
+
+void PigPaxosReplica::SendUplink(NodeId to,
+                                 std::shared_ptr<RelayResponse> resp,
+                                 bool counts_as_early) {
+  if (pig_options_.uplink_coalesce_max <= 1) {
+    if (counts_as_early) relay_metrics_.early_batches++;
+    env_->Send(to, std::move(resp));
+    return;
+  }
+  UplinkBuffer& buf = uplink_[to];
+  buf.held.push_back(UplinkBuffer::Held{std::move(resp), counts_as_early});
+  if (buf.held.size() >= pig_options_.uplink_coalesce_max) {
+    FlushUplink(to);
+    return;
+  }
+  if (buf.timer == kInvalidTimer) {
+    buf.timer = env_->SetTimer(pig_options_.uplink_flush_delay, [this, to]() {
+      auto it = uplink_.find(to);
+      if (it == uplink_.end()) return;
+      it->second.timer = kInvalidTimer;
+      FlushUplink(to);
+    });
+  }
+}
+
+void PigPaxosReplica::FlushUplink(NodeId to) {
+  auto it = uplink_.find(to);
+  if (it == uplink_.end() || it->second.held.empty()) return;
+  UplinkBuffer& buf = it->second;
+  if (buf.timer != kInvalidTimer) {
+    env_->CancelTimer(buf.timer);
+    buf.timer = kInvalidTimer;
+  }
+  bool any_early = false;
+  for (const UplinkBuffer::Held& h : buf.held) any_early |= h.early;
+  if (any_early) relay_metrics_.early_batches++;
+  if (buf.held.size() == 1) {
+    env_->Send(to, std::move(buf.held[0].resp));
+  } else {
+    auto bundle = std::make_shared<RelayBundle>();
+    bundle->sender = id();
+    bundle->responses.reserve(buf.held.size());
+    for (UplinkBuffer::Held& h : buf.held) {
+      bundle->responses.push_back(std::move(h.resp));
+    }
+    relay_metrics_.uplink_bundles++;
+    relay_metrics_.uplink_coalesced += bundle->responses.size();
+    env_->Send(to, std::move(bundle));
+  }
+  buf.held.clear();
+}
+
+void PigPaxosReplica::HandleRelayBundle(NodeId from,
+                                        const RelayBundle& bundle) {
+  MarkResponsive(bundle.sender);
+  for (const MessagePtr& r : bundle.responses) {
+    if (r->type() != MsgType::kRelayResponse) continue;
+    HandleRelayResponse(from, static_cast<const RelayResponse&>(*r));
+  }
 }
 
 void PigPaxosReplica::OnRelayTimeout(uint64_t relay_id) {

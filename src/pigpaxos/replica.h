@@ -68,6 +68,15 @@ struct PigPaxosOptions {
   /// 2 * relay_timeout.
   TimeNs relay_ack_timeout = 0;
   TimeNs suspicion_duration = 2 * kSecond;
+
+  /// Uplink coalescing: with commit pipelining several slots' relay
+  /// rounds complete close together, so a relay may hold a finished
+  /// RelayResponse for up to `uplink_flush_delay`, sending up to
+  /// `uplink_coalesce_max` responses (for different slots) as one
+  /// RelayBundle. 1 = off: every response departs immediately, exactly
+  /// the paper's behavior.
+  size_t uplink_coalesce_max = 1;
+  TimeNs uplink_flush_delay = 100 * kMicrosecond;
 };
 
 /// Counters specific to the relay layer.
@@ -76,10 +85,15 @@ struct RelayMetrics {
   uint64_t relays_served = 0;     ///< Rounds this node acted as relay.
   uint64_t relay_timeouts = 0;    ///< Aggregations cut short by timeout.
   uint64_t aggregates_sent = 0;   ///< RelayResponses sent upward.
-  uint64_t early_batches = 0;     ///< Threshold-triggered partial batches.
+  /// Uplink messages that carried a threshold-triggered partial batch.
+  /// Counted per departing uplink, not per aggregation flush, so several
+  /// coalesced multi-slot partials count once.
+  uint64_t early_batches = 0;
   uint64_t rejects_fast_tracked = 0;
   uint64_t reshuffles = 0;
   uint64_t relays_suspected = 0;  ///< Unresponsive relays blacklisted.
+  uint64_t uplink_bundles = 0;    ///< Coalesced RelayBundles sent.
+  uint64_t uplink_coalesced = 0;  ///< Responses that shared a bundle.
 };
 
 class PigPaxosReplica : public PaxosReplica {
@@ -115,6 +129,7 @@ class PigPaxosReplica : public PaxosReplica {
   void ReshuffleTick();
   void HandleRelayRequest(NodeId from, const RelayRequest& req);
   void HandleRelayResponse(NodeId from, const RelayResponse& resp);
+  void HandleRelayBundle(NodeId from, const RelayBundle& bundle);
   void ForwardToMembers(const RelayRequest& req,
                         const std::vector<NodeId>& members);
   void AddResponse(Aggregation& agg, uint64_t relay_id, MessagePtr resp);
@@ -122,6 +137,14 @@ class PigPaxosReplica : public PaxosReplica {
                         bool final_batch);
   void OnRelayTimeout(uint64_t relay_id);
   static bool IsReject(const Message& msg);
+
+  // Uplink coalescing: every outbound RelayResponse funnels through here.
+  // `counts_as_early` marks threshold-triggered partial batches for the
+  // early_batches metric (fast-tracked rejects and final batches do not
+  // count).
+  void SendUplink(NodeId to, std::shared_ptr<RelayResponse> resp,
+                  bool counts_as_early);
+  void FlushUplink(NodeId to);
 
   // Relay liveness tracking (leader side).
   NodeId PickLiveRelay(const std::vector<NodeId>& group);
@@ -142,6 +165,18 @@ class PigPaxosReplica : public PaxosReplica {
   std::deque<std::pair<TimeNs, uint64_t>> relay_watch_;  // (deadline, id)
   std::unordered_map<NodeId, TimeNs> suspected_until_;
   TimerId relay_watch_timer_ = kInvalidTimer;
+
+  // Per-destination uplink coalescing buffers (empty when coalescing is
+  // off). `early` marks responses that count toward early_batches.
+  struct UplinkBuffer {
+    struct Held {
+      std::shared_ptr<RelayResponse> resp;
+      bool early = false;
+    };
+    std::vector<Held> held;
+    TimerId timer = kInvalidTimer;
+  };
+  std::unordered_map<NodeId, UplinkBuffer> uplink_;
 };
 
 }  // namespace pig::pigpaxos

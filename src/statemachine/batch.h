@@ -1,0 +1,48 @@
+// Command batching: packing several client commands into one log slot.
+//
+// The leader's batcher (paxos/replica.cc) amortizes per-slot costs —
+// quorum vote processing, relay fan-out, commit bookkeeping — over many
+// client commands. A batch travels as a single kBatch carrier Command;
+// replicas unroll it at execution time so each sub-command keeps its own
+// client/seq identity for dedup and reply routing.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "statemachine/command.h"
+
+namespace pig {
+
+struct BatchCommand {
+  /// Wraps `cmds` into one carrier Command. A single-element batch is
+  /// returned unwrapped — a batch of one is just the command, so the
+  /// wire format and log contents stay identical to unbatched operation.
+  static Command Wrap(std::vector<Command> cmds) {
+    if (cmds.size() == 1) return std::move(cmds[0]);
+    Command carrier;
+    carrier.op = OpType::kBatch;
+    carrier.batch = std::move(cmds);
+    return carrier;
+  }
+
+  /// Number of client commands a log entry represents (1 for non-batch).
+  static size_t Size(const Command& cmd) {
+    return cmd.IsBatch() ? cmd.batch.size() : 1;
+  }
+};
+
+/// Invokes `fn(const Command&)` for the command itself, or for each
+/// sub-command of a batch carrier. Every code path that inspects
+/// per-command state (key watermarks, client records, execution) iterates
+/// through this so batched and unbatched slots behave identically.
+template <typename Fn>
+void ForEachCommand(const Command& cmd, Fn&& fn) {
+  if (!cmd.IsBatch()) {
+    fn(cmd);
+    return;
+  }
+  for (const Command& sub : cmd.batch) fn(sub);
+}
+
+}  // namespace pig

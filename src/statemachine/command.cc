@@ -10,23 +10,44 @@ void Command::Encode(Encoder& enc) const {
   enc.PutBytes(value);
   enc.PutU32(client);
   enc.PutU64(seq);
+  if (op == OpType::kBatch) {
+    enc.PutVarint(batch.size());
+    for (const Command& sub : batch) sub.Encode(enc);
+  }
 }
 
 Status Command::Decode(Decoder& dec, Command* out) {
   uint8_t op = 0;
   Status s = dec.GetU8(&op);
   if (!s.ok()) return s;
-  if (op > static_cast<uint8_t>(OpType::kPut)) {
+  if (op > static_cast<uint8_t>(OpType::kBatch)) {
     return Status::Corruption("bad op type");
   }
   out->op = static_cast<OpType>(op);
   if (!(s = dec.GetBytes(&out->key)).ok()) return s;
   if (!(s = dec.GetBytes(&out->value)).ok()) return s;
   if (!(s = dec.GetU32(&out->client)).ok()) return s;
-  return dec.GetU64(&out->seq);
+  if (!(s = dec.GetU64(&out->seq)).ok()) return s;
+  out->batch.clear();
+  if (out->op == OpType::kBatch) {
+    uint64_t n = 0;
+    if (!(s = dec.GetVarint(&n)).ok()) return s;
+    if (n > dec.remaining()) return Status::Corruption("batch too big");
+    out->batch.resize(static_cast<size_t>(n));
+    for (Command& sub : out->batch) {
+      if (!(s = Command::Decode(dec, &sub)).ok()) return s;
+      if (sub.op == OpType::kBatch) {
+        return Status::Corruption("nested batch command");
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 std::string Command::DebugString() const {
+  if (op == OpType::kBatch) {
+    return "batch[" + std::to_string(batch.size()) + "]";
+  }
   const char* name = op == OpType::kNoop ? "noop"
                      : op == OpType::kGet ? "get"
                                           : "put";

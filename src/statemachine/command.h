@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/status.h"
@@ -10,11 +11,15 @@
 
 namespace pig {
 
-/// Operation kind. kNoop fills log gaps during leader recovery.
-enum class OpType : uint8_t { kNoop = 0, kGet = 1, kPut = 2 };
+/// Operation kind. kNoop fills log gaps during leader recovery. kBatch
+/// packs several client commands into one log slot (leader batching; see
+/// statemachine/batch.h for the wrapping helpers).
+enum class OpType : uint8_t { kNoop = 0, kGet = 1, kPut = 2, kBatch = 3 };
 
 /// A single state-machine command, issued by `client` with a per-client
 /// monotonically increasing `seq` (used for reply matching and dedup).
+/// A kBatch command is a pure carrier: key/value/client/seq are unused
+/// and the payload lives in `batch`.
 struct Command {
   OpType op = OpType::kNoop;
   std::string key;
@@ -22,18 +27,24 @@ struct Command {
   NodeId client = kInvalidNode;
   uint64_t seq = 0;
 
+  /// Sub-commands of a kBatch carrier (empty for every other op). The
+  /// wire encoding appends the list only when op == kBatch, so non-batch
+  /// commands encode byte-identically to the pre-batching format.
+  std::vector<Command> batch;
+
   static Command Noop() { return Command{}; }
   static Command Get(std::string key, NodeId client, uint64_t seq) {
-    return Command{OpType::kGet, std::move(key), "", client, seq};
+    return Command{OpType::kGet, std::move(key), "", client, seq, {}};
   }
   static Command Put(std::string key, std::string value, NodeId client,
                      uint64_t seq) {
     return Command{OpType::kPut, std::move(key), std::move(value), client,
-                   seq};
+                   seq, {}};
   }
 
   bool IsNoop() const { return op == OpType::kNoop; }
   bool IsWrite() const { return op == OpType::kPut; }
+  bool IsBatch() const { return op == OpType::kBatch; }
 
   /// EPaxos-style interference: two commands conflict when they touch the
   /// same key and at least one of them writes. Noops conflict with nothing.
@@ -49,7 +60,7 @@ struct Command {
 
   friend bool operator==(const Command& a, const Command& b) {
     return a.op == b.op && a.key == b.key && a.value == b.value &&
-           a.client == b.client && a.seq == b.seq;
+           a.client == b.client && a.seq == b.seq && a.batch == b.batch;
   }
 };
 

@@ -3,6 +3,13 @@
 namespace pig {
 
 std::string KvStore::Apply(const Command& cmd) {
+  // Replicas unroll kBatch carriers before applying (each sub-command
+  // needs its own result/reply); this fallback keeps direct callers —
+  // tests, alternative executors — correct.
+  if (cmd.IsBatch()) {
+    for (const Command& sub : cmd.batch) Apply(sub);
+    return "";
+  }
   applied_++;
   switch (cmd.op) {
     case OpType::kNoop:
@@ -17,6 +24,8 @@ std::string KvStore::Apply(const Command& cmd) {
       e.version++;
       return "";
     }
+    case OpType::kBatch:
+      return "";  // unreachable; handled above
   }
   return "";
 }

@@ -1,0 +1,427 @@
+#include "conformance.h"
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "linearizability.h"
+#include "statemachine/batch.h"
+#include "test_util.h"
+
+namespace pig::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// History-recording closed-loop client. Writes carry globally unique
+// values ("c<idx>#<seq>") so the linearizability checker can match reads
+// to writes; timeouts resend the same command (replica dedup makes that
+// safe) and redirects follow the leader hint.
+
+class HistoryClient : public Actor {
+ public:
+  struct Config {
+    size_t num_replicas = 0;
+    size_t num_keys = 8;
+    double read_ratio = 0.5;
+    TimeNs request_timeout = 250 * kMillisecond;
+    uint32_t index = 0;
+  };
+
+  explicit HistoryClient(Config cfg) : cfg_(cfg) {}
+
+  void OnStart() override {
+    target_ = 0;
+    env_->SetTimer(
+        static_cast<TimeNs>(env_->rng().NextBounded(5 * kMillisecond)),
+        [this]() { IssueNext(); });
+  }
+
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    (void)from;
+    if (msg->type() != MsgType::kClientReply) return;
+    const auto& r = static_cast<const ClientReply&>(*msg);
+    if (r.seq != seq_) return;  // stale duplicate for a completed request
+    if (r.code == StatusCode::kNotLeader) {
+      if (r.leader_hint != kInvalidNode && r.leader_hint != target_) {
+        target_ = r.leader_hint;
+      } else {
+        target_ = (target_ + 1) % cfg_.num_replicas;
+      }
+      if (backoff_pending_) return;
+      backoff_pending_ = true;
+      env_->SetTimer(kMillisecond, [this, s = seq_]() {
+        backoff_pending_ = false;
+        if (s == seq_) SendCurrent();
+      });
+      return;
+    }
+    if (r.code != StatusCode::kOk) return;
+    HistoryOp op;
+    op.client = env_->self();
+    op.is_read = current_.op == OpType::kGet;
+    op.key = current_.key;
+    op.value = op.is_read ? r.value : current_.value;
+    op.invoked = invoked_at_;
+    op.completed = env_->Now();
+    history.push_back(op);
+    if (!op.is_read) acked_write_seqs.push_back(seq_);
+    IssueNext();
+  }
+
+  /// Stops issuing (and re-sending): called before the final drain so
+  /// replicas can converge with no in-flight tail at check time.
+  void Stop() { stopped_ = true; }
+
+  std::vector<HistoryOp> history;
+  std::vector<uint64_t> acked_write_seqs;
+
+ private:
+  void IssueNext() {
+    if (stopped_) return;
+    ++seq_;
+    const std::string key =
+        "k" + std::to_string(env_->rng().NextBounded(cfg_.num_keys));
+    const bool read = env_->rng().NextDouble() < cfg_.read_ratio;
+    if (read) {
+      current_ = Command::Get(key, env_->self(), seq_);
+    } else {
+      current_ = Command::Put(
+          key, "c" + std::to_string(cfg_.index) + "#" + std::to_string(seq_),
+          env_->self(), seq_);
+    }
+    invoked_at_ = env_->Now();
+    SendCurrent();
+  }
+
+  void SendCurrent() {
+    if (stopped_) return;
+    env_->Send(target_, std::make_shared<ClientRequest>(current_));
+    env_->SetTimer(cfg_.request_timeout, [this, s = seq_]() {
+      if (s != seq_) return;  // completed in the meantime
+      target_ = (target_ + 1) % cfg_.num_replicas;
+      SendCurrent();
+    });
+  }
+
+  Config cfg_;
+  uint64_t seq_ = 0;
+  Command current_;
+  TimeNs invoked_at_ = 0;
+  NodeId target_ = 0;
+  bool backoff_pending_ = false;
+  bool stopped_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Cluster construction
+
+paxos::PaxosOptions MakePaxosOptions(const ConformanceConfig& cfg,
+                                     bool inject_fault) {
+  paxos::PaxosOptions popt;
+  popt.num_replicas = cfg.num_replicas;
+  popt.batch_size = cfg.batch_size;
+  popt.pipeline_depth = cfg.pipeline_depth;
+  // Invariant checking scans the whole log; never compact (also keeps
+  // the snapshot path out of the per-key version accounting).
+  popt.compaction_window = 1u << 30;
+  popt.test_fault_count_duplicate_votes = inject_fault;
+  if (cfg.flexible_q1 > 0 && cfg.flexible_q2 > 0) {
+    popt.quorum = std::make_shared<FlexibleQuorum>(
+        cfg.num_replicas, cfg.flexible_q1, cfg.flexible_q2);
+  }
+  return popt;
+}
+
+void AddReplicas(sim::Cluster& cluster, const ConformanceConfig& cfg,
+                 bool inject_fault) {
+  if (cfg.use_pig) {
+    pigpaxos::PigPaxosOptions opt;
+    opt.paxos = MakePaxosOptions(cfg, inject_fault);
+    opt.num_relay_groups = cfg.relay_groups;
+    opt.group_overlap = cfg.group_overlap;
+    opt.relay_timeout = 20 * kMillisecond;
+    opt.uplink_coalesce_max = cfg.uplink_coalesce_max;
+    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+      cluster.AddReplica(
+          i, std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
+    }
+  } else {
+    paxos::PaxosOptions opt = MakePaxosOptions(cfg, inject_fault);
+    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+      cluster.AddReplica(i, std::make_unique<paxos::PaxosReplica>(i, opt));
+    }
+  }
+}
+
+std::vector<HistoryClient*> AddClients(sim::Cluster& cluster,
+                                       const ConformanceConfig& cfg) {
+  std::vector<HistoryClient*> clients;
+  for (uint32_t i = 0; i < cfg.num_clients; ++i) {
+    HistoryClient::Config ccfg;
+    ccfg.num_replicas = cfg.num_replicas;
+    ccfg.num_keys = cfg.num_keys;
+    ccfg.read_ratio = cfg.read_ratio;
+    ccfg.index = i;
+    auto owner = std::make_unique<HistoryClient>(ccfg);
+    clients.push_back(owner.get());
+    cluster.AddClient(sim::Cluster::MakeClientId(i), std::move(owner));
+  }
+  return clients;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (shared by the randomized runs and the scripted
+// fault scenario).
+
+std::string CheckInvariants(sim::Cluster& cluster,
+                            const ConformanceConfig& cfg,
+                            const std::vector<HistoryClient*>& clients,
+                            ConformanceResult* result) {
+  const size_t n = cfg.num_replicas;
+  for (auto* c : clients) {
+    result->completed_ops += c->history.size();
+    result->acked_writes += c->acked_write_seqs.size();
+  }
+
+  const NodeId leader = FindLeader(cluster, n);
+  if (leader == kInvalidNode) return "no leader after quiesce";
+
+  // Log-prefix agreement: no slot committed differently anywhere.
+  std::string log_check = CheckLogConsistency(cluster, n);
+  if (!log_check.empty()) return "log disagreement: " + log_check;
+
+  // Convergence: after the quiesce every live store matches the
+  // leader's (crashed replicas legitimately lag — but their *logs* are
+  // still held to the agreement check above).
+  auto reference = PaxosAt(cluster, leader)->store().Dump();
+  for (NodeId i = 0; i < n; ++i) {
+    if (!cluster.IsAlive(i) || i == leader) continue;
+    if (PaxosAt(cluster, i)->store().Dump() != reference) {
+      return "stores diverged at replica " + std::to_string(i);
+    }
+  }
+
+  // Linearizability of the merged client-visible history.
+  std::vector<HistoryOp> history;
+  for (auto* c : clients) {
+    history.insert(history.end(), c->history.begin(), c->history.end());
+  }
+  std::string lin = CheckLinearizability(history);
+  if (!lin.empty()) return "linearizability: " + lin;
+
+  // Scan the leader's contiguous committed prefix.
+  const auto* lead = PaxosAt(cluster, leader);
+  const ReplicatedLog& log = lead->log();
+  const SlotId ci = log.ContiguousCommitIndex();
+  std::map<std::pair<NodeId, uint64_t>, int> committed;  // (client,seq)
+  std::map<std::string, uint64_t> distinct_writes_per_key;
+  for (SlotId s = log.first_slot(); s <= ci; ++s) {
+    const LogEntry* e = log.Get(s);
+    if (e == nullptr || !e->committed) {
+      return "hole at slot " + std::to_string(s) +
+             " inside the committed prefix";
+    }
+    ForEachCommand(e->command, [&](const Command& c) {
+      if (c.IsNoop() || c.client == kInvalidNode) return;
+      int& count = committed[{c.client, c.seq}];
+      count++;
+      if (count == 1 && c.IsWrite()) distinct_writes_per_key[c.key]++;
+    });
+  }
+  result->committed_commands = committed.size();
+  for (NodeId i = 0; i < n; ++i) {
+    result->batches_proposed += PaxosAt(cluster, i)->metrics().batches_proposed;
+  }
+
+  // No duplicated command: a write applied twice bumps the key's version
+  // past the number of distinct committed writes; one skipped falls
+  // short. (The log may legally hold a (client,seq) in two slots after
+  // failover; execution must still be exactly-once.)
+  for (const auto& [key, writes] : distinct_writes_per_key) {
+    const uint64_t version = lead->store().VersionOf(key);
+    if (version != writes) {
+      std::ostringstream msg;
+      msg << "key " << key << ": " << writes
+          << " distinct committed writes but store version " << version
+          << " (duplicate or lost apply)";
+      return msg.str();
+    }
+  }
+
+  // No lost command: every acknowledged write is in the committed prefix.
+  for (auto* c : clients) {
+    for (uint64_t seq : c->acked_write_seqs) {
+      // HistoryClient i registered as MakeClientId(i); recover the id
+      // from its recorded history (all ops share one client id).
+      NodeId id = c->history.empty() ? kInvalidNode : c->history[0].client;
+      if (id == kInvalidNode) continue;
+      if (committed.find({id, seq}) == committed.end()) {
+        return "acknowledged write c" + std::to_string(id) + "#" +
+               std::to_string(seq) + " missing from the committed prefix";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+ConformanceResult RunConformance(const ConformanceConfig& cfg,
+                                 uint64_t seed) {
+  sim::ClusterOptions copt;
+  copt.seed = seed;
+  copt.network.drop_probability = cfg.drop_probability;
+  sim::Cluster cluster(copt);
+  AddReplicas(cluster, cfg, /*inject_fault=*/false);
+  std::vector<HistoryClient*> clients = AddClients(cluster, cfg);
+  cluster.Start();
+
+  // Let the bootstrap leader settle before the abuse starts.
+  cluster.RunFor(150 * kMillisecond);
+
+  const size_t n = cfg.num_replicas;
+  const size_t max_down = (n - 1) / 2;  // a majority always stays up
+  Rng chaos(seed * 7919 + 0x5bd1e995);
+  std::vector<bool> down(n, false);
+  size_t num_down = 0;
+  for (int round = 0; round < cfg.chaos_rounds; ++round) {
+    const uint64_t dice = chaos.NextBounded(100);
+    if (dice < 30) {
+      if (num_down < max_down) {
+        NodeId victim = static_cast<NodeId>(chaos.NextBounded(n));
+        if (!down[victim]) {
+          cluster.Crash(victim);
+          down[victim] = true;
+          num_down++;
+        }
+      }
+    } else if (dice < 50) {
+      if (num_down > 0) {
+        NodeId pick = static_cast<NodeId>(chaos.NextBounded(n));
+        for (size_t step = 0; step < n; ++step) {
+          NodeId i = static_cast<NodeId>((pick + step) % n);
+          if (down[i]) {
+            cluster.Recover(i);
+            down[i] = false;
+            num_down--;
+            break;
+          }
+        }
+      }
+    } else if (dice < 65) {
+      for (NodeId i = 0; i < n; ++i) {
+        cluster.network().SetPartitionGroup(
+            i, static_cast<int>(chaos.NextBounded(2)));
+      }
+    } else if (dice < 75) {
+      cluster.network().HealPartitions();
+    } else if (dice < 85) {
+      NodeId who = static_cast<NodeId>(chaos.NextBounded(n));
+      if (!down[who]) {
+        static_cast<paxos::PaxosReplica*>(cluster.actor(who))
+            ->TriggerElection();
+      }
+    }  // else: a calm round
+    cluster.RunFor(cfg.round_length);
+  }
+
+  // Heal everything and quiesce: recover crashes, drop partitions and
+  // message loss, let traffic flow cleanly for a while, then stop the
+  // clients and drain so replicas converge with no in-flight tail.
+  for (NodeId i = 0; i < n; ++i) {
+    if (down[i]) cluster.Recover(i);
+  }
+  cluster.network().HealPartitions();
+  cluster.network().set_drop_probability(0);
+  cluster.RunFor(cfg.quiesce / 2);
+  for (HistoryClient* c : clients) c->Stop();
+  cluster.RunFor(cfg.quiesce / 2);
+
+  ConformanceResult result;
+  result.violation = CheckInvariants(cluster, cfg, clients, &result);
+  if (result.violation.empty() && result.completed_ops == 0) {
+    result.violation = "no client operation completed (liveness)";
+  }
+  return result;
+}
+
+ConformanceResult RunDuplicateVoteFaultScenario(uint64_t seed,
+                                                bool inject_fault) {
+  // 5 nodes, contiguous groups {1,2} / {3,4}, overlap 1 -> {1,2,3} and
+  // {3,4,1}: node 1 sits in both groups, so with 2,3,4 crashed every
+  // retried fan-out eventually reaches node 1 twice. Leader + node 1 is
+  // only 2 of the 3 votes quorum needs — unless the reverted dedup
+  // counts the duplicate, fabricating a commit that phase 2 then loses.
+  ConformanceConfig cfg;
+  cfg.name = "duplicate-vote-fault";
+  cfg.use_pig = true;
+  cfg.num_replicas = 5;
+  cfg.num_clients = 1;
+  cfg.num_keys = 1;
+  cfg.read_ratio = 0.0;  // writes only: every ack must survive
+
+  sim::ClusterOptions copt;
+  copt.seed = seed;
+  sim::Cluster cluster(copt);
+  {
+    pigpaxos::PigPaxosOptions opt;
+    opt.paxos = MakePaxosOptions(cfg, inject_fault);
+    // Keep follower 1 from starting elections while the majority is
+    // down (2 live nodes can elect nobody), and retry proposals fast so
+    // the duplicate-vote path gets exercised quickly.
+    opt.paxos.election_timeout_min = 600 * kMillisecond;
+    opt.paxos.election_timeout_max = 900 * kMillisecond;
+    opt.paxos.propose_retry_timeout = 100 * kMillisecond;
+    opt.num_relay_groups = cfg.relay_groups;
+    opt.group_overlap = 1;
+    opt.relay_timeout = 20 * kMillisecond;
+    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+      cluster.AddReplica(
+          i, std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
+    }
+  }
+  std::vector<HistoryClient*> clients = AddClients(cluster, cfg);
+  cluster.Start();
+  cluster.RunFor(150 * kMillisecond);
+
+  // Phase 1: majority down; only duplicate votes could commit anything
+  // beyond the pre-crash baseline.
+  cluster.Crash(2);
+  cluster.Crash(3);
+  cluster.Crash(4);
+  const size_t baseline_acked = clients[0]->acked_write_seqs.size();
+  for (int i = 0;
+       i < 15 && clients[0]->acked_write_seqs.size() == baseline_acked;
+       ++i) {
+    cluster.RunFor(200 * kMillisecond);
+  }
+
+  // Phase 2: lose the fake-quorum participants for good and recover the
+  // rest. {2,3,4} is a legitimate quorum that never saw any phase-1
+  // commit, so it elects a leader and commits fresh commands into the
+  // same slots: with the fault, node 0's fabricated committed history
+  // now conflicts (log disagreement) and its acknowledged writes are
+  // gone from the surviving prefix. (Recovering 0/1 instead would let
+  // the new leader *adopt* the fabricated-but-committed entries in
+  // phase 1 of its election — Paxos legitimizes what it cannot
+  // distinguish — which is exactly why the write had to be durable on a
+  // real quorum in the first place.)
+  cluster.Recover(2);
+  cluster.Recover(3);
+  cluster.Recover(4);
+  cluster.Crash(0);
+  cluster.Crash(1);
+  cluster.RunFor(4 * kSecond);  // elections among {2,3,4}, fresh commits
+  for (HistoryClient* c : clients) c->Stop();
+  cluster.RunFor(1500 * kMillisecond);
+
+  ConformanceResult result;
+  result.violation = CheckInvariants(cluster, cfg, clients, &result);
+  return result;
+}
+
+}  // namespace pig::test

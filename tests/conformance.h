@@ -1,0 +1,80 @@
+// Randomized protocol-conformance harness.
+//
+// Drives a Paxos or PigPaxos cluster through a seeded schedule of message
+// drops, partitions, crash/recovery, and forced leader churn while
+// history-recording closed-loop clients issue uniquely-valued writes and
+// reads. After healing and quiescing, every run is checked against the
+// full invariant set:
+//   * linearizability of the client-visible history (linearizability.h),
+//   * log-prefix agreement across replicas (no two replicas commit
+//     different commands in one slot) and store convergence,
+//   * no lost command: every acknowledged write is committed in the
+//     leader's contiguous prefix,
+//   * no duplicated command: per-key version counters match the number
+//     of distinct committed writes (a double-applied write would
+//     overshoot), and batched slots unroll to distinct (client, seq)s.
+//
+// The harness exists to make protocol changes — leader batching, commit
+// pipelining, relay uplink coalescing — safe to land: the test matrix in
+// conformance_test.cc sweeps {batch size x pipeline depth x relay-group
+// config} over many seeds, and a deliberate fault-injection mode proves
+// the checks actually fire (see RunDuplicateVoteFaultScenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pig::test {
+
+struct ConformanceConfig {
+  std::string name;           ///< Diagnostics only.
+  bool use_pig = true;
+  size_t num_replicas = 5;
+  size_t num_clients = 4;
+  size_t num_keys = 8;
+  double read_ratio = 0.5;
+
+  // Batching / pipelining (1/1 = engine off).
+  size_t batch_size = 1;
+  size_t pipeline_depth = 1;
+
+  // PigPaxos relay layer.
+  size_t relay_groups = 2;
+  size_t group_overlap = 0;
+  size_t uplink_coalesce_max = 1;
+
+  // Flexible quorums (0 = majority).
+  size_t flexible_q1 = 0;
+  size_t flexible_q2 = 0;
+
+  double drop_probability = 0.0;
+  int chaos_rounds = 6;
+  TimeNs round_length = 350 * kMillisecond;
+  TimeNs quiesce = 4 * kSecond;
+};
+
+struct ConformanceResult {
+  std::string violation;        ///< Empty when every invariant held.
+  uint64_t completed_ops = 0;   ///< Client ops acknowledged OK.
+  uint64_t acked_writes = 0;
+  uint64_t committed_commands = 0;  ///< Distinct commands in the prefix.
+  uint64_t batches_proposed = 0;
+
+  bool ok() const { return violation.empty(); }
+};
+
+/// Runs one seeded schedule and checks all invariants.
+ConformanceResult RunConformance(const ConformanceConfig& cfg,
+                                 uint64_t seed);
+
+/// Scripted fault-injection scenario: overlapping relay groups deliver a
+/// follower's vote twice; with `inject_fault` the leader's vote dedup is
+/// deliberately reverted (PaxosOptions::test_fault_count_duplicate_votes)
+/// so the duplicate fakes a quorum. The harness must report a violation
+/// with the fault injected and a clean run without it.
+ConformanceResult RunDuplicateVoteFaultScenario(uint64_t seed,
+                                                bool inject_fault);
+
+}  // namespace pig::test

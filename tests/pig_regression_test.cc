@@ -131,6 +131,100 @@ TEST(PigRegressionTest, TimedOutEmptyAggregationSendsFinalResponse) {
 }
 
 // ---------------------------------------------------------------------------
+// early_batches accounting under uplink coalescing: two rounds whose
+// threshold-triggered partial flushes coalesce into one RelayBundle must
+// count ONE early batch (the metric counts departing uplink messages,
+// not aggregation flushes — counting per flush double-counts coalesced
+// multi-slot responses).
+
+class BundleProbe : public Actor {
+ public:
+  struct Seen {
+    bool is_bundle;
+    size_t num_payloads;     ///< RelayResponses in the message.
+    size_t num_early;        ///< Payloads with final_batch == false.
+    TimeNs at;
+  };
+
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    (void)from;
+    if (msg->type() == MsgType::kRelayResponse) {
+      const auto& r = static_cast<const RelayResponse&>(*msg);
+      seen.push_back(Seen{false, 1, r.final_batch ? 0u : 1u, env_->Now()});
+    } else if (msg->type() == MsgType::kRelayBundle) {
+      const auto& b = static_cast<const pigpaxos::RelayBundle&>(*msg);
+      size_t early = 0;
+      for (const MessagePtr& r : b.responses) {
+        early += !static_cast<const RelayResponse&>(*r).final_batch;
+      }
+      seen.push_back(Seen{true, b.responses.size(), early, env_->Now()});
+    }
+  }
+
+  void Inject(NodeId relay, MessagePtr req) {
+    env_->Send(relay, std::move(req));
+  }
+
+  std::vector<Seen> seen;
+};
+
+TEST(PigRegressionTest, CoalescedEarlyBatchesCountOncePerUplink) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 2;
+  opt.group_response_threshold = 1;   // own response triggers an early flush
+  opt.uplink_coalesce_max = 2;        // two responses share one uplink
+  opt.uplink_flush_delay = 20 * kMillisecond;
+  opt.relay_timeout = 200 * kMillisecond;
+  opt.paxos.heartbeat_interval = 10 * kSecond;    // silence background
+  opt.paxos.election_timeout_min = 20 * kSecond;  // traffic entirely
+  opt.paxos.election_timeout_max = 30 * kSecond;
+  opt.paxos.bootstrap_leader = kInvalidNode;
+  MakePigCluster(cluster, 5, opt);
+  auto probe_owner = std::make_unique<BundleProbe>();
+  BundleProbe* probe = probe_owner.get();
+  cluster.AddClient(sim::Cluster::MakeClientId(1), std::move(probe_owner));
+  cluster.Start();
+  cluster.RunFor(10 * kMillisecond);
+
+  // Two concurrent rounds (different slots of a pipelined window) routed
+  // through relay 1 with one live member each.
+  for (uint64_t round = 0; round < 2; ++round) {
+    auto p2a = std::make_shared<paxos::P2a>();
+    p2a->ballot = Ballot(1, 0);
+    p2a->slot = static_cast<SlotId>(round);
+    p2a->command = Command::Put("k", "v" + std::to_string(round),
+                                kInvalidNode, round + 1);
+    auto req = std::make_shared<RelayRequest>();
+    req->relay_id = 700 + round;
+    req->origin = sim::Cluster::MakeClientId(1);
+    req->expects_response = true;
+    req->members = {2};
+    req->inner = std::move(p2a);
+    probe->Inject(1, std::move(req));
+  }
+  cluster.RunFor(100 * kMillisecond);
+
+  // First uplink: one bundle carrying both rounds' early partials.
+  // Second uplink: one bundle carrying both rounds' final batches.
+  ASSERT_EQ(probe->seen.size(), 2u);
+  EXPECT_TRUE(probe->seen[0].is_bundle);
+  EXPECT_EQ(probe->seen[0].num_payloads, 2u);
+  EXPECT_EQ(probe->seen[0].num_early, 2u);
+  EXPECT_TRUE(probe->seen[1].is_bundle);
+  EXPECT_EQ(probe->seen[1].num_payloads, 2u);
+  EXPECT_EQ(probe->seen[1].num_early, 0u);
+
+  const auto& rm = PigAt(cluster, 1)->relay_metrics();
+  EXPECT_EQ(rm.aggregates_sent, 4u);   // early + final per round
+  EXPECT_EQ(rm.early_batches, 1u)      // NOT 2: one early uplink departed
+      << "coalesced multi-slot partial flushes double-counted";
+  EXPECT_EQ(rm.uplink_bundles, 2u);
+  EXPECT_EQ(rm.uplink_coalesced, 4u);
+  EXPECT_EQ(rm.relay_timeouts, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Overlapping groups deliver some followers' responses twice; the
 // leader's VoteTally must count each follower once.
 

@@ -177,6 +177,109 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PartitionHealTest,
 
 // ---------------------------------------------------------------------------
 
+/// Quorum math under pipelining: with pipeline depth k the leader keeps k
+/// uncommitted slots in flight, so a failover can find many slots in
+/// intermediate states — but any slot that ever reported committed must
+/// keep exactly that command on every replica forever, including under
+/// flexible quorums (q2 = 2 of 5 makes phase-2 "cheap" and phase-1
+/// adoption do the heavy lifting). The test repeatedly kills the leader
+/// mid-pipeline and diffs every replica's committed slots against the
+/// accumulated commit history.
+struct PipelineQuorumParams {
+  uint64_t seed;
+  size_t pipeline_depth;
+};
+
+class PipelinedFlexQuorumTest
+    : public ::testing::TestWithParam<PipelineQuorumParams> {};
+
+TEST_P(PipelinedFlexQuorumTest, CommittedSlotsSurviveLeaderFailover) {
+  const PipelineQuorumParams& p = GetParam();
+  constexpr size_t kNodes = 5;
+  sim::ClusterOptions copt;
+  copt.seed = p.seed;
+  sim::Cluster cluster(copt);
+
+  pigpaxos::PigPaxosOptions opt;
+  opt.paxos.num_replicas = kNodes;
+  opt.paxos.quorum = std::make_shared<FlexibleQuorum>(kNodes, 4, 2);
+  opt.paxos.batch_size = 4;
+  opt.paxos.pipeline_depth = p.pipeline_depth;
+  opt.paxos.compaction_window = 1u << 30;  // keep every slot inspectable
+  opt.num_relay_groups = 2;
+  opt.relay_timeout = 20 * kMillisecond;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    cluster.AddReplica(i,
+                       std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
+  }
+  auto recorder = std::make_shared<client::Recorder>();
+  recorder->SetWindow(0, 60 * kSecond);
+  for (uint32_t i = 0; i < 6; ++i) {
+    client::ClientConfig ccfg;
+    ccfg.num_replicas = kNodes;
+    ccfg.request_timeout = 300 * kMillisecond;
+    ccfg.workload.num_keys = 20;
+    cluster.AddClient(
+        sim::Cluster::MakeClientId(i),
+        std::make_unique<client::ClosedLoopClient>(ccfg, recorder));
+  }
+  cluster.Start();
+  cluster.RunFor(300 * kMillisecond);
+
+  // Accumulated history: slot -> command as first observed committed.
+  std::map<SlotId, Command> committed_history;
+  auto absorb_and_check = [&](int round) {
+    for (NodeId i = 0; i < kNodes; ++i) {
+      const auto& log = PaxosAt(cluster, i)->log();
+      for (SlotId s = log.first_slot(); s <= log.last_slot(); ++s) {
+        const LogEntry* e = log.Get(s);
+        if (e == nullptr || !e->committed) continue;
+        auto [it, inserted] = committed_history.emplace(s, e->command);
+        ASSERT_TRUE(inserted || it->second == e->command)
+            << "round " << round << ": slot " << s << " on replica " << i
+            << " flipped from " << it->second.DebugString() << " to "
+            << e->command.DebugString() << " after failover";
+      }
+    }
+  };
+
+  for (int round = 0; round < 6; ++round) {
+    absorb_and_check(round);
+    NodeId leader = FindLeader(cluster, kNodes);
+    if (leader != kInvalidNode) {
+      // Kill the leader mid-pipeline: up to `depth` uncommitted slots
+      // are in flight right now.
+      cluster.Crash(leader);
+      cluster.RunFor(700 * kMillisecond);
+      absorb_and_check(round);
+      cluster.Recover(leader);
+    }
+    cluster.RunFor(700 * kMillisecond);
+  }
+  cluster.RunFor(3 * kSecond);
+  absorb_and_check(999);
+
+  EXPECT_EQ(CheckLogConsistency(cluster, kNodes), "");
+  EXPECT_GT(recorder->completed(), 100u);
+  EXPECT_GT(committed_history.size(), 0u);
+  // The engine must actually have batched/pipelined something.
+  uint64_t batches = 0;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    batches += PaxosAt(cluster, i)->metrics().batches_proposed;
+  }
+  EXPECT_GT(batches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PipelinedFlexQuorumTest,
+    ::testing::Values(PipelineQuorumParams{41, 4},
+                      PipelineQuorumParams{42, 8},
+                      PipelineQuorumParams{43, 8},
+                      PipelineQuorumParams{44, 16},
+                      PipelineQuorumParams{45, 4}));
+
+// ---------------------------------------------------------------------------
+
 class EPaxosConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
 
 /// Multi-leader conflicting traffic from every replica; all stores must

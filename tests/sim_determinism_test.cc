@@ -172,5 +172,84 @@ TEST(SimDeterminismTest, DifferentSeedsDiverge) {
   EXPECT_NE(a.total_events, b.total_events);
 }
 
+/// Same fig7 shape with the batching engine on: leader batching, commit
+/// pipelining, and relay uplink coalescing must stay exactly as
+/// deterministic as the legacy path — two same-seed runs agree on every
+/// report field, byte for byte.
+harness::RunResult BatchedFig7Run(uint64_t seed) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kPigPaxos;
+  cfg.num_replicas = 9;
+  cfg.relay_groups = 3;
+  cfg.num_clients = 8;
+  cfg.workload.read_ratio = 0.5;
+  cfg.warmup = 100 * kMillisecond;
+  cfg.measure = 300 * kMillisecond;
+  cfg.seed = seed;
+  cfg.batch_size = 4;
+  cfg.pipeline_depth = 4;
+  cfg.uplink_coalesce_max = 2;
+  return harness::RunExperiment(cfg);
+}
+
+TEST(SimDeterminismTest, SameSeedBatchedPipelinedRunsAreIdentical) {
+  harness::RunResult a = BatchedFig7Run(42);
+  harness::RunResult b = BatchedFig7Run(42);
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_GT(a.batches_proposed, 0u) << "batching engine never engaged";
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.redirects, b.redirects);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.msgs_per_request, b.msgs_per_request);
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_EQ(a.relay_timeouts, b.relay_timeouts);
+  EXPECT_EQ(a.relay_early_batches, b.relay_early_batches);
+  // Engine-specific counters are part of the report contract too.
+  EXPECT_EQ(a.batches_proposed, b.batches_proposed);
+  EXPECT_EQ(a.batched_commands, b.batched_commands);
+  EXPECT_EQ(a.batch_timeout_flushes, b.batch_timeout_flushes);
+  EXPECT_EQ(a.pipeline_stalls, b.pipeline_stalls);
+  EXPECT_EQ(a.uplink_bundles, b.uplink_bundles);
+  EXPECT_EQ(a.uplink_coalesced, b.uplink_coalesced);
+  EXPECT_EQ(a.mean_batch_size, b.mean_batch_size);
+  EXPECT_EQ(a.stale_replies, b.stale_replies);
+}
+
+/// The engine at batch=1/depth=1 is *off*: a default-options run and an
+/// explicitly "disabled engine" run must produce identical reports (the
+/// legacy proposal path is untouched).
+TEST(SimDeterminismTest, DisabledEngineMatchesLegacyPathExactly) {
+  harness::RunResult legacy = Fig7ShapedRun(3, 42);
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kPigPaxos;
+  cfg.num_replicas = 9;
+  cfg.relay_groups = 3;
+  cfg.num_clients = 8;
+  cfg.workload.read_ratio = 0.5;
+  cfg.warmup = 100 * kMillisecond;
+  cfg.measure = 300 * kMillisecond;
+  cfg.seed = 42;
+  cfg.batch_size = 1;
+  cfg.pipeline_depth = 1;
+  cfg.uplink_coalesce_max = 1;
+  harness::RunResult off = harness::RunExperiment(cfg);
+  EXPECT_EQ(legacy.completed, off.completed);
+  EXPECT_EQ(legacy.total_events, off.total_events);
+  EXPECT_EQ(legacy.timeline, off.timeline);
+  EXPECT_EQ(legacy.throughput, off.throughput);
+  EXPECT_EQ(legacy.mean_ms, off.mean_ms);
+  EXPECT_EQ(legacy.msgs_per_request, off.msgs_per_request);
+  EXPECT_EQ(legacy.cpu_utilization, off.cpu_utilization);
+  EXPECT_EQ(off.batches_proposed, 0u);
+  EXPECT_EQ(off.uplink_bundles, 0u);
+  EXPECT_EQ(off.mean_batch_size, 1.0);
+}
+
 }  // namespace
 }  // namespace pig

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "consensus/client_messages.h"
+#include "statemachine/batch.h"
 #include "epaxos/messages.h"
 #include "paxos/messages.h"
 #include "paxos/quorum_reads.h"
@@ -341,6 +342,106 @@ TEST_F(WireTest, TrailingGarbageFails) {
   wire.push_back(0x00);
   MessagePtr out;
   EXPECT_EQ(DecodeMessage(wire, &out).code(), StatusCode::kCorruption);
+}
+
+TEST_F(WireTest, BatchCommandRoundTrip) {
+  // A kBatch carrier inside a P2a: the batched encoding appends the
+  // sub-command list only for kBatch, so plain commands stay
+  // byte-identical to the pre-batching format.
+  std::vector<Command> cmds;
+  cmds.push_back(Command::Put("a", "1", kFirstClientId, 5));
+  cmds.push_back(Command::Get("b", kFirstClientId + 1, 9));
+  cmds.push_back(Command::Put("c", "3", kFirstClientId + 2, 2));
+  paxos::P2a p2a;
+  p2a.ballot = Ballot(4, 1);
+  p2a.slot = 11;
+  p2a.command = BatchCommand::Wrap(cmds);
+  ASSERT_TRUE(p2a.command.IsBatch());
+  EXPECT_EQ(BatchCommand::Size(p2a.command), 3u);
+  auto out = RoundTrip(p2a);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const paxos::P2a&>(*out);
+  EXPECT_EQ(got.command, p2a.command);
+  ASSERT_EQ(got.command.batch.size(), 3u);
+  EXPECT_EQ(got.command.batch[1], cmds[1]);
+  CheckTruncations(p2a);
+
+  // Wrapping a single command is the identity: no carrier appears.
+  Command single = BatchCommand::Wrap({Command::Put("k", "v", 1, 1)});
+  EXPECT_FALSE(single.IsBatch());
+  EXPECT_EQ(single.key, "k");
+
+  // A nested batch on the wire is corruption, not recursion.
+  Command evil;
+  evil.op = OpType::kBatch;
+  evil.batch.push_back(p2a.command);
+  paxos::P2a evil_p2a;
+  evil_p2a.command = evil;
+  MessagePtr decoded;
+  EXPECT_EQ(DecodeMessage(EncodeMessage(evil_p2a), &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(WireTest, RelayBundleRoundTrip) {
+  auto make_resp = [](uint64_t relay_id, SlotId slot) {
+    auto p2b = std::make_shared<paxos::P2b>();
+    p2b->sender = 3;
+    p2b->ballot = Ballot(2, 0);
+    p2b->slot = slot;
+    p2b->ok = true;
+    auto resp = std::make_shared<pigpaxos::RelayResponse>();
+    resp->relay_id = relay_id;
+    resp->sender = 3;
+    resp->final_batch = true;
+    resp->responses.push_back(std::move(p2b));
+    return resp;
+  };
+  pigpaxos::RelayBundle bundle;
+  bundle.sender = 3;
+  bundle.responses.push_back(make_resp(100, 7));
+  bundle.responses.push_back(make_resp(101, 8));
+  auto out = RoundTrip(bundle);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const pigpaxos::RelayBundle&>(*out);
+  EXPECT_EQ(got.sender, 3u);
+  ASSERT_EQ(got.responses.size(), 2u);
+  const auto& second =
+      static_cast<const pigpaxos::RelayResponse&>(*got.responses[1]);
+  EXPECT_EQ(second.relay_id, 101u);
+  ASSERT_EQ(second.responses.size(), 1u);
+  EXPECT_EQ(static_cast<const paxos::P2b&>(*second.responses[0]).slot, 8);
+  CheckTruncations(bundle);
+
+  // A bundle may only carry RelayResponses.
+  pigpaxos::RelayBundle evil;
+  evil.sender = 1;
+  auto hb = std::make_shared<Heartbeat>();
+  hb->ballot = Ballot(1, 0);
+  evil.responses.push_back(std::move(hb));
+  MessagePtr decoded;
+  EXPECT_EQ(DecodeMessage(EncodeMessage(evil), &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(WireTest, LogSyncClientRecordsRoundTrip) {
+  paxos::LogSyncResponse resp;
+  resp.ballot = Ballot(3, 2);
+  resp.commit_index = 9;
+  resp.snapshot_upto = 9;
+  resp.snapshot.emplace_back("k", "v");
+  resp.client_records.push_back(
+      paxos::ClientSeqRecord{kFirstClientId, 17, "result", 8});
+  resp.client_records.push_back(
+      paxos::ClientSeqRecord{kFirstClientId + 1, 3, "", 2});
+  auto out = RoundTrip(resp);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const paxos::LogSyncResponse&>(*out);
+  ASSERT_EQ(got.client_records.size(), 2u);
+  EXPECT_EQ(got.client_records[0].client, kFirstClientId);
+  EXPECT_EQ(got.client_records[0].seq, 17u);
+  EXPECT_EQ(got.client_records[0].value, "result");
+  EXPECT_EQ(got.client_records[0].slot, 8);
+  CheckTruncations(resp);
 }
 
 TEST_F(WireTest, WireSizeGrowsWithPayload) {
