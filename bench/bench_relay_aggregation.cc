@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the relay aggregation path:
+// VoteTally ack/nack accounting at paper-scale cluster sizes, the
+// construction and encode cost of RelayResponse/RelayBundle fan-in
+// envelopes, and WireSize() on a cold message (the per-delivery byte
+// accounting every simulated send/recv pays).
+//
+// The subset pinned by scripts/bench_gate.py (vote tally, response
+// encode, cold wire-size) guards the message-layer optimizations from
+// PR 4; keep those names and workload shapes stable.
+#include <benchmark/benchmark.h>
+
+#include "paxos/messages.h"
+#include "pigpaxos/messages.h"
+#include "quorum/quorum.h"
+
+namespace pig {
+namespace {
+
+std::shared_ptr<paxos::P2b> MakeP2b(NodeId sender, SlotId slot) {
+  auto p2b = MessagePool::Make<paxos::P2b>();
+  p2b->sender = sender;
+  p2b->ballot = Ballot(7, 3);
+  p2b->slot = slot;
+  p2b->ok = true;
+  return p2b;
+}
+
+std::shared_ptr<pigpaxos::RelayResponse> MakeRelayResponse(
+    uint64_t relay_id, size_t responses) {
+  auto resp = MessagePool::Make<pigpaxos::RelayResponse>();
+  resp->relay_id = relay_id;
+  resp->sender = 1;
+  resp->responses.reserve(responses);
+  for (size_t i = 0; i < responses; ++i) {
+    resp->responses.push_back(MakeP2b(static_cast<NodeId>(i + 2), 1000));
+  }
+  return resp;
+}
+
+/// One leader-side phase-2 round at cluster size n: a fresh tally, one
+/// ack per voter (the last one crossing the threshold), plus a pair of
+/// nacks — the exact sequence HandleP2b/HandleP1b drive per slot.
+void BM_VoteTallyAckNack(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threshold = n / 2 + 1;
+  for (auto _ : state) {
+    VoteTally tally(threshold);
+    bool passed = false;
+    for (NodeId v = 0; v < n; ++v) passed |= tally.Ack(v);
+    tally.Nack(0);
+    tally.Nack(static_cast<NodeId>(n - 1));
+    benchmark::DoNotOptimize(passed);
+    benchmark::DoNotOptimize(tally.ack_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n + 2));
+}
+BENCHMARK(BM_VoteTallyAckNack)->Arg(5)->Arg(25)->Arg(49);
+
+/// Relay fan-in: building one aggregated RelayResponse carrying n P2b
+/// votes — the allocation-churn side of the aggregation path (pooled
+/// construction, as the relay layer uses).
+void BM_RelayResponseBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t relay_id = 1;
+  for (auto _ : state) {
+    auto resp = MakeRelayResponse(relay_id++, n);
+    benchmark::DoNotOptimize(resp->responses.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RelayResponseBuild)->Arg(1)->Arg(8);
+
+/// Encoding a prebuilt aggregated RelayResponse (nested P2b bodies): the
+/// serialization side of every uplink send.
+void BM_RelayResponseEncode(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto resp = MakeRelayResponse(1, n);
+  for (auto _ : state) {
+    auto wire = EncodeMessage(*resp);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(resp->WireSize()));
+}
+BENCHMARK(BM_RelayResponseEncode)->Arg(1)->Arg(8);
+
+/// Encoding a coalesced RelayBundle of k RelayResponses x 3 votes each
+/// (the pipelined-commit uplink shape).
+void BM_RelayBundleEncode(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  auto bundle = std::make_shared<pigpaxos::RelayBundle>();
+  bundle->sender = 1;
+  bundle->responses.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    bundle->responses.push_back(MakeRelayResponse(i + 1, 3));
+  }
+  for (auto _ : state) {
+    auto wire = EncodeMessage(*bundle);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelayBundleEncode)->Arg(4);
+
+/// WireSize() on a cold P2b: what the simulator charges per send/recv
+/// the first time it sees a message.
+void BM_WireSizeColdP2b(benchmark::State& state) {
+  for (auto _ : state) {
+    paxos::P2b p2b;
+    p2b.sender = 3;
+    p2b.ballot = Ballot(7, 3);
+    p2b.slot = 1000;
+    p2b.ok = true;
+    benchmark::DoNotOptimize(p2b.WireSize());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSizeColdP2b);
+
+/// WireSize() on a cold aggregated RelayResponse (n nested P2b bodies,
+/// themselves cold): the fan-in envelope's first byte accounting.
+void BM_WireSizeColdRelayResponse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto resp = MakeRelayResponse(1, n);
+    benchmark::DoNotOptimize(resp->WireSize());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSizeColdRelayResponse)->Arg(8);
+
+}  // namespace
+}  // namespace pig
+
+BENCHMARK_MAIN();

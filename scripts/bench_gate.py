@@ -2,9 +2,11 @@
 """Release-mode throughput regression gate for the simulator hot path.
 
 Runs a pinned subset of bench_micro_core (scheduler churn/cancel, network
-transfer bookkeeping, fig8-style 25-node cluster event rate) and
+transfer bookkeeping, fig8-style 25-node cluster event rate),
 bench_batching_pipeline (fig8-shaped committed-commands/sec with the
-batching engine off and at batch=8/depth=8), writes the results to
+batching engine off and at batch=8/depth=8), and
+bench_relay_aggregation (dense VoteTally, pooled RelayResponse build +
+nested encode, counting-sizer WireSize), writes the results to
 BENCH_<n>.json, and fails if any pinned benchmark's throughput
 (items/second, median over repetitions) regresses more than --threshold
 relative to the checked-in baseline.
@@ -45,6 +47,19 @@ PINNED_BY_BINARY = {
     "bench_batching_pipeline": [
         "BM_BatchPipelineFig8/1/1",
         "BM_BatchPipelineFig8/8/8",
+    ],
+    # Relay aggregation / message layer (PR 4): dense VoteTally at paper
+    # cluster sizes, pooled envelope construction, nested encode, and the
+    # counting sizer behind WireSize.
+    "bench_relay_aggregation": [
+        "BM_VoteTallyAckNack/5",
+        "BM_VoteTallyAckNack/25",
+        "BM_VoteTallyAckNack/49",
+        "BM_RelayResponseBuild/8",
+        "BM_RelayResponseEncode/8",
+        "BM_RelayBundleEncode/4",
+        "BM_WireSizeColdP2b",
+        "BM_WireSizeColdRelayResponse/8",
     ],
 }
 PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]

@@ -4,8 +4,18 @@
 // simulated network can account wire sizes on the same code path a real
 // transport would use. Layout: little-endian fixed-width integers, LEB128
 // varints for lengths, length-prefixed byte strings.
+//
+// An Encoder is a byte sink with three backing modes sharing one Put API,
+// so each message's EncodeBody is written once and drives all three:
+//   * owning   — appends to its own buffer (EncodeMessage),
+//   * external — appends into a caller-owned buffer whose capacity is
+//                reused across messages (the threaded runtime's per-node
+//                scratch), and
+//   * counting — a size-only sink that touches no memory at all
+//                (Message::WireSize's counting sizer).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -16,12 +26,36 @@
 
 namespace pig {
 
-/// Appends primitive values to a byte buffer.
+/// Appends primitive values to a byte buffer, or just counts them.
 class Encoder {
  public:
-  Encoder() = default;
+  /// Tag selecting the size-only counting mode.
+  struct SizerTag {};
 
-  void PutU8(uint8_t v) { buf_.push_back(v); }
+  /// Owning mode: appends to an internal buffer.
+  Encoder() : out_(&owned_) {}
+
+  /// Counting mode: size() accumulates, no bytes are stored.
+  explicit Encoder(SizerTag) : out_(nullptr) {}
+
+  /// External mode: appends into `external` (kept by the caller), so a
+  /// scratch buffer's capacity survives across messages.
+  explicit Encoder(std::vector<uint8_t>& external) : out_(&external) {}
+
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+
+  /// Pre-sizes the sink for `n` further bytes (no-op when counting).
+  /// Seeding this from the counting sizer makes the write pass a single
+  /// exact allocation instead of repeated growth.
+  void Reserve(size_t n) {
+    if (out_ != nullptr) out_->reserve(out_->size() + n);
+  }
+
+  void PutU8(uint8_t v) {
+    if (out_ != nullptr) out_->push_back(v);
+    size_ += 1;
+  }
 
   void PutU32(uint32_t v) { PutFixed(v); }
   void PutU64(uint64_t v) { PutFixed(v); }
@@ -29,36 +63,59 @@ class Encoder {
 
   /// LEB128 unsigned varint (1-10 bytes).
   void PutVarint(uint64_t v) {
+    uint8_t tmp[10];
+    size_t n = 0;
     while (v >= 0x80) {
-      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      tmp[n++] = static_cast<uint8_t>(v) | 0x80;
       v >>= 7;
     }
-    buf_.push_back(static_cast<uint8_t>(v));
+    tmp[n++] = static_cast<uint8_t>(v);
+    Append(tmp, n);
   }
 
   /// Length-prefixed byte string.
   void PutBytes(std::string_view s) {
     PutVarint(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    Append(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
 
   void PutBool(bool b) { PutU8(b ? 1 : 0); }
 
-  const std::vector<uint8_t>& buffer() const { return buf_; }
-  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
-  size_t size() const { return buf_.size(); }
+  /// Bytes appended through this encoder (in counting mode: the exact
+  /// size a writing encoder would have produced).
+  size_t size() const { return size_; }
+
+  /// The backing buffer. Owning/external modes only — a counting
+  /// encoder has no buffer to hand out.
+  const std::vector<uint8_t>& buffer() const {
+    assert(out_ != nullptr);
+    return *out_;
+  }
+  std::vector<uint8_t> TakeBuffer() {
+    assert(out_ != nullptr);
+    return std::move(*out_);
+  }
 
  private:
+  /// Bulk append: one insert per value/string instead of per-byte
+  /// push_back.
+  void Append(const uint8_t* data, size_t n) {
+    if (out_ != nullptr && n > 0) out_->insert(out_->end(), data, data + n);
+    size_ += n;
+  }
+
   template <typename T>
   void PutFixed(T v) {
     uint8_t tmp[sizeof(T)];
     for (size_t i = 0; i < sizeof(T); ++i) {
       tmp[i] = static_cast<uint8_t>(v >> (8 * i));
     }
-    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+    Append(tmp, sizeof(T));
   }
 
-  std::vector<uint8_t> buf_;
+  std::vector<uint8_t>* out_;  // nullptr = counting mode
+  std::vector<uint8_t> owned_;
+  size_t size_ = 0;
 };
 
 /// Reads primitive values back out of a byte buffer. All getters return
@@ -106,10 +163,19 @@ class Decoder {
     uint64_t len = 0;
     Status s = GetVarint(&len);
     if (!s.ok()) return s;
-    if (pos_ + len > size_) return Underflow();
+    if (len > remaining()) return Underflow();
     out->assign(reinterpret_cast<const char*>(data_ + pos_),
                 static_cast<size_t>(len));
     pos_ += static_cast<size_t>(len);
+    return Status::Ok();
+  }
+
+  /// Hands out a pointer to the next `n` raw bytes in place (no copy)
+  /// and advances past them. Used for nested-message payloads.
+  Status GetRaw(size_t n, const uint8_t** out) {
+    if (n > remaining()) return Underflow();
+    *out = data_ + pos_;
+    pos_ += n;
     return Status::Ok();
   }
 

@@ -13,7 +13,9 @@ std::array<MessageDecodeFn, 256>& Registry() {
 }  // namespace
 
 std::string Message::DebugString() const {
-  char buf[48];
+  // Wide enough for the largest tag and a full 20-digit size_t, so the
+  // generic form never truncates.
+  char buf[64];
   std::snprintf(buf, sizeof(buf), "msg(type=%u, %zu bytes)",
                 static_cast<unsigned>(type()), WireSize());
   return buf;
@@ -21,23 +23,57 @@ std::string Message::DebugString() const {
 
 size_t Message::WireSize() const {
   if (cached_size_ == 0) {
-    Encoder enc;
-    enc.PutU8(static_cast<uint8_t>(type()));
-    EncodeBody(enc);
-    cached_size_ = enc.size();
+    Encoder sizer{Encoder::SizerTag{}};
+    sizer.PutU8(static_cast<uint8_t>(type()));
+    EncodeBody(sizer);
+    cached_size_ = sizer.size();
   }
   return cached_size_;
 }
 
 std::vector<uint8_t> EncodeMessage(const Message& msg) {
-  Encoder enc;
+  std::vector<uint8_t> wire;
+  EncodeMessageTo(msg, &wire);
+  return wire;
+}
+
+void EncodeMessageTo(const Message& msg, std::vector<uint8_t>* out) {
+  out->clear();
+  Encoder enc(*out);
+  enc.Reserve(msg.WireSize());
   enc.PutU8(static_cast<uint8_t>(msg.type()));
   msg.EncodeBody(enc);
-  return enc.TakeBuffer();
+}
+
+void EncodeNestedMessage(Encoder& enc, const Message& msg) {
+  enc.PutVarint(msg.WireSize());
+  enc.PutU8(static_cast<uint8_t>(msg.type()));
+  msg.EncodeBody(enc);
+}
+
+Status DecodeNestedMessage(Decoder& dec, MessagePtr* out) {
+  uint64_t len = 0;
+  Status s = dec.GetVarint(&len);
+  if (!s.ok()) return s;
+  if (len > dec.remaining()) {
+    return Status::Corruption("nested message too big");
+  }
+  const uint8_t* body = nullptr;
+  if (!(s = dec.GetRaw(static_cast<size_t>(len), &body)).ok()) return s;
+  return DecodeMessage(body, static_cast<size_t>(len), out);
 }
 
 void RegisterMessageDecoder(MsgType type, MessageDecodeFn fn) {
   Registry()[static_cast<uint8_t>(type)] = fn;
+}
+
+std::vector<MsgType> RegisteredMessageTypes() {
+  std::vector<MsgType> out;
+  const auto& registry = Registry();
+  for (size_t tag = 0; tag < registry.size(); ++tag) {
+    if (registry[tag] != nullptr) out.push_back(static_cast<MsgType>(tag));
+  }
+  return out;
 }
 
 Status DecodeMessage(const uint8_t* data, size_t size, MessagePtr* out) {

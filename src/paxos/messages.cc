@@ -99,7 +99,7 @@ void P2a::EncodeBody(Encoder& enc) const {
 }
 
 Status P2a::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<P2a>();
+  auto m = MessagePool::Make<P2a>();
   Status s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
   if (!(s = dec.GetI64(&m->slot)).ok()) return s;
@@ -124,7 +124,7 @@ void P2b::EncodeBody(Encoder& enc) const {
 }
 
 Status P2b::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<P2b>();
+  auto m = MessagePool::Make<P2b>();
   Status s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;

@@ -153,7 +153,7 @@ MessagePtr PaxosReplica::HandleP1a(const P1a& msg) {
 }
 
 MessagePtr PaxosReplica::HandleP2a(const P2a& msg) {
-  auto resp = std::make_shared<P2b>();
+  auto resp = MessagePool::Make<P2b>();
   resp->sender = id_;
   resp->slot = msg.slot;
   if (msg.ballot >= promised_) {
@@ -328,8 +328,7 @@ void PaxosReplica::StartElection() {
   role_ = Role::kCandidate;
   promised_ = Ballot(promised_.counter + 1, id_);
   metrics_.elections_started++;
-  p1_tally_ =
-      std::make_unique<VoteTally>(options_.quorum->Phase1Size());
+  p1_tally_.emplace(options_.quorum->Phase1Size());
   p1_adopted_.clear();
   p1_max_slot_ = log_.last_slot();
   p1_tally_->Ack(id_);
@@ -561,13 +560,13 @@ void PaxosReplica::ProposeAt(SlotId slot, const Command& cmd) {
     return;
   }
   Pending p;
-  p.tally = std::make_unique<VoteTally>(options_.quorum->Phase2Size());
+  p.tally.emplace(options_.quorum->Phase2Size());
   p.proposed_at = env_->Now();
   p.tally->Ack(id_);
   bool instant = p.tally->Passed();  // single-node cluster
   pending_.emplace(slot, std::move(p));
 
-  auto p2a = std::make_shared<P2a>();
+  auto p2a = MessagePool::Make<P2a>();
   p2a->ballot = promised_;
   p2a->slot = slot;
   p2a->command = cmd;
@@ -588,7 +587,7 @@ void PaxosReplica::HandleP2b(const P2b& msg) {
   if (it == pending_.end()) return;  // already committed or superseded
   const bool duplicate =
       options_.test_fault_count_duplicate_votes &&
-      it->second.tally->acks().count(msg.sender) > 0;
+      it->second.tally->HasAck(msg.sender);
   if (it->second.tally->Ack(msg.sender)) {
     CommitSlot(msg.slot);
     return;
@@ -741,7 +740,7 @@ void PaxosReplica::OnRetryTimeout() {
     if (e == nullptr) continue;
     pending.proposed_at = now;
     metrics_.propose_retries++;
-    auto p2a = std::make_shared<P2a>();
+    auto p2a = MessagePool::Make<P2a>();
     p2a->ballot = promised_;
     p2a->slot = slot;
     p2a->command = e->command;

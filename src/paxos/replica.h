@@ -230,14 +230,15 @@ class PaxosReplica : public Actor {
   KvStore store_;
   SlotId next_slot_ = 0;
 
-  // Candidate state.
-  std::unique_ptr<VoteTally> p1_tally_;
+  // Candidate state. The tally is dense (inline bitmap), so it lives in
+  // place rather than behind a per-election/per-slot heap allocation.
+  std::optional<VoteTally> p1_tally_;
   std::unordered_map<SlotId, AcceptedEntry> p1_adopted_;
   SlotId p1_max_slot_ = kInvalidSlot;
 
   // Leader state.
   struct Pending {
-    std::unique_ptr<VoteTally> tally;
+    std::optional<VoteTally> tally;
     TimeNs proposed_at = 0;
   };
   std::unordered_map<SlotId, Pending> pending_;

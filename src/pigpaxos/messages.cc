@@ -7,24 +7,9 @@
 
 namespace pig::pigpaxos {
 
-namespace {
-void EncodeNested(Encoder& enc, const MessagePtr& msg) {
-  Encoder inner;
-  inner.PutU8(static_cast<uint8_t>(msg->type()));
-  msg->EncodeBody(inner);
-  const auto& buf = inner.buffer();
-  enc.PutBytes(std::string_view(reinterpret_cast<const char*>(buf.data()),
-                                buf.size()));
-}
-
-Status DecodeNested(Decoder& dec, MessagePtr* out) {
-  std::string bytes;
-  Status s = dec.GetBytes(&bytes);
-  if (!s.ok()) return s;
-  return DecodeMessage(reinterpret_cast<const uint8_t*>(bytes.data()),
-                       bytes.size(), out);
-}
-}  // namespace
+// Nested payloads encode straight into the outer buffer: the varint
+// length prefix comes from the inner message's (cached) counting sizer,
+// so no temporary buffer or copy is involved — see EncodeNestedMessage.
 
 void RelayRequest::EncodeBody(Encoder& enc) const {
   enc.PutU64(relay_id);
@@ -34,11 +19,11 @@ void RelayRequest::EncodeBody(Encoder& enc) const {
   for (NodeId m : members) enc.PutU32(m);
   enc.PutU32(sub_layers);
   enc.PutU32(sub_groups);
-  EncodeNested(enc, inner);
+  EncodeNestedMessage(enc, *inner);
 }
 
 Status RelayRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<RelayRequest>();
+  auto m = MessagePool::Make<RelayRequest>();
   Status s;
   if (!(s = dec.GetU64(&m->relay_id)).ok()) return s;
   if (!(s = dec.GetU32(&m->origin)).ok()) return s;
@@ -52,7 +37,7 @@ Status RelayRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
   }
   if (!(s = dec.GetU32(&m->sub_layers)).ok()) return s;
   if (!(s = dec.GetU32(&m->sub_groups)).ok()) return s;
-  if (!(s = DecodeNested(dec, &m->inner)).ok()) return s;
+  if (!(s = DecodeNestedMessage(dec, &m->inner)).ok()) return s;
   *out = std::move(m);
   return Status::Ok();
 }
@@ -72,11 +57,11 @@ void RelayResponse::EncodeBody(Encoder& enc) const {
   enc.PutU32(sender);
   enc.PutBool(final_batch);
   enc.PutVarint(responses.size());
-  for (const MessagePtr& r : responses) EncodeNested(enc, r);
+  for (const MessagePtr& r : responses) EncodeNestedMessage(enc, *r);
 }
 
 Status RelayResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<RelayResponse>();
+  auto m = MessagePool::Make<RelayResponse>();
   Status s;
   if (!(s = dec.GetU64(&m->relay_id)).ok()) return s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
@@ -86,7 +71,7 @@ Status RelayResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
   if (n > dec.remaining()) return Status::Corruption("response count");
   m->responses.resize(static_cast<size_t>(n));
   for (auto& r : m->responses) {
-    if (!(s = DecodeNested(dec, &r)).ok()) return s;
+    if (!(s = DecodeNestedMessage(dec, &r)).ok()) return s;
   }
   *out = std::move(m);
   return Status::Ok();
@@ -104,11 +89,11 @@ std::string RelayResponse::DebugString() const {
 void RelayBundle::EncodeBody(Encoder& enc) const {
   enc.PutU32(sender);
   enc.PutVarint(responses.size());
-  for (const MessagePtr& r : responses) EncodeNested(enc, r);
+  for (const MessagePtr& r : responses) EncodeNestedMessage(enc, *r);
 }
 
 Status RelayBundle::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<RelayBundle>();
+  auto m = MessagePool::Make<RelayBundle>();
   Status s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
   uint64_t n = 0;
@@ -116,7 +101,7 @@ Status RelayBundle::DecodeBody(Decoder& dec, MessagePtr* out) {
   if (n > dec.remaining()) return Status::Corruption("bundle count");
   m->responses.resize(static_cast<size_t>(n));
   for (auto& r : m->responses) {
-    if (!(s = DecodeNested(dec, &r)).ok()) return s;
+    if (!(s = DecodeNestedMessage(dec, &r)).ok()) return s;
     if (r->type() != MsgType::kRelayResponse) {
       return Status::Corruption("bundle holds non-RelayResponse");
     }

@@ -74,7 +74,7 @@ void PigPaxosReplica::FanOut(MessagePtr msg, bool expects_response) {
   for (size_t g = 0; g < groups.size(); ++g) {
     const std::vector<NodeId>& group = groups[g];
     NodeId relay = PickLiveRelay(group);
-    auto req = std::make_shared<RelayRequest>();
+    auto req = MessagePool::Make<RelayRequest>();
     req->relay_id = next_relay_id_++;
     req->origin = id();
     req->expects_response = expects_response;
@@ -187,7 +187,7 @@ void PigPaxosReplica::HandleRelayRequest(NodeId from,
   if (req.members.empty()) {
     // Leaf member: respond straight to whoever relayed to us.
     if (req.expects_response && own_response != nullptr) {
-      auto resp = std::make_shared<RelayResponse>();
+      auto resp = MessagePool::Make<RelayResponse>();
       resp->relay_id = req.relay_id;
       resp->sender = id();
       resp->responses.push_back(std::move(own_response));
@@ -204,16 +204,19 @@ void PigPaxosReplica::HandleRelayRequest(NodeId from,
     return;
   }
 
-  // Set up aggregation state, seeded with our own response.
+  // Set up aggregation state, seeded with our own response. The buffer
+  // can never outgrow the group, so one up-front reservation covers the
+  // whole round.
   Aggregation agg;
   agg.requester = from;
   agg.expected = req.members.size() + 1;  // members + self
   agg.threshold = pig_options_.group_response_threshold;
+  agg.buffer.reserve(agg.expected);
   if (own_response != nullptr) {
     if (IsReject(*own_response)) {
       // Rejections bypass aggregation (§4.2 footnote).
       relay_metrics_.rejects_fast_tracked++;
-      auto resp = std::make_shared<RelayResponse>();
+      auto resp = MessagePool::Make<RelayResponse>();
       resp->relay_id = req.relay_id;
       resp->sender = id();
       // The aggregation stays open for the group members' responses, so
@@ -272,10 +275,11 @@ void PigPaxosReplica::ForwardToMembers(const RelayRequest& req,
       if (sub.empty()) continue;
       size_t pick = static_cast<size_t>(env_->rng().NextBounded(sub.size()));
       NodeId sub_relay = sub[pick];
-      auto fwd = std::make_shared<RelayRequest>();
+      auto fwd = MessagePool::Make<RelayRequest>();
       fwd->relay_id = req.relay_id;
       fwd->origin = req.origin;
       fwd->expects_response = req.expects_response;
+      fwd->members.reserve(sub.size() - 1);
       for (size_t i = 0; i < sub.size(); ++i) {
         if (i != pick) fwd->members.push_back(sub[i]);
       }
@@ -286,16 +290,20 @@ void PigPaxosReplica::ForwardToMembers(const RelayRequest& req,
     }
     return;
   }
-  // Single layer: forward to each member as a leaf.
+  // Single layer: every leaf gets an identical envelope (same round,
+  // empty member list, same inner payload), and MessagePtr is a
+  // shared_ptr-to-const — so build the envelope once and fan the same
+  // immutable message out to all members instead of N copies.
+  auto fwd = MessagePool::Make<RelayRequest>();
+  fwd->relay_id = req.relay_id;
+  fwd->origin = req.origin;
+  fwd->expects_response = req.expects_response;
+  fwd->sub_layers = 0;
+  fwd->sub_groups = req.sub_groups;
+  fwd->inner = req.inner;
+  const MessagePtr shared = std::move(fwd);
   for (NodeId m : members) {
-    auto fwd = std::make_shared<RelayRequest>();
-    fwd->relay_id = req.relay_id;
-    fwd->origin = req.origin;
-    fwd->expects_response = req.expects_response;
-    fwd->sub_layers = 0;
-    fwd->sub_groups = req.sub_groups;
-    fwd->inner = req.inner;
-    env_->Send(m, std::move(fwd));
+    env_->Send(m, shared);
   }
 }
 
@@ -340,7 +348,7 @@ void PigPaxosReplica::AddResponse(Aggregation& agg, uint64_t relay_id,
   if (IsReject(*resp)) {
     // Forward rejections immediately, without waiting for the rest.
     relay_metrics_.rejects_fast_tracked++;
-    auto out = std::make_shared<RelayResponse>();
+    auto out = MessagePool::Make<RelayResponse>();
     out->relay_id = relay_id;
     out->sender = id();
     out->final_batch = false;
@@ -359,7 +367,7 @@ void PigPaxosReplica::FlushAggregation(uint64_t relay_id, Aggregation& agg,
   // tells the origin the round is over instead of leaving it to discover
   // the silence via its own (longer) relay-ack watch timeout.
   if (agg.buffer.empty() && !final_batch) return;
-  auto out = std::make_shared<RelayResponse>();
+  auto out = MessagePool::Make<RelayResponse>();
   out->relay_id = relay_id;
   out->sender = id();
   out->final_batch = final_batch;
@@ -385,47 +393,59 @@ void PigPaxosReplica::SendUplink(NodeId to,
     env_->Send(to, std::move(resp));
     return;
   }
-  UplinkBuffer& buf = uplink_[to];
+  // One lookup covers both the append and a possible size-triggered
+  // flush (which consumes the iterator and erases the entry).
+  auto [it, inserted] = uplink_.try_emplace(to);
+  UplinkBuffer& buf = it->second;
+  if (inserted) buf.held.reserve(pig_options_.uplink_coalesce_max);
   buf.held.push_back(UplinkBuffer::Held{std::move(resp), counts_as_early});
   if (buf.held.size() >= pig_options_.uplink_coalesce_max) {
-    FlushUplink(to);
+    FlushUplink(it);
     return;
   }
   if (buf.timer == kInvalidTimer) {
+    // The lambda captures the key, never an iterator or buffer
+    // reference: by the time it fires the entry may have been flushed
+    // away (size trigger) or the map rehashed, so it must re-find.
     buf.timer = env_->SetTimer(pig_options_.uplink_flush_delay, [this, to]() {
-      auto it = uplink_.find(to);
-      if (it == uplink_.end()) return;
-      it->second.timer = kInvalidTimer;
-      FlushUplink(to);
+      auto timer_it = uplink_.find(to);
+      if (timer_it == uplink_.end()) return;
+      timer_it->second.timer = kInvalidTimer;
+      FlushUplink(timer_it);
     });
   }
 }
 
-void PigPaxosReplica::FlushUplink(NodeId to) {
-  auto it = uplink_.find(to);
-  if (it == uplink_.end() || it->second.held.empty()) return;
+void PigPaxosReplica::FlushUplink(UplinkMap::iterator it) {
   UplinkBuffer& buf = it->second;
   if (buf.timer != kInvalidTimer) {
     env_->CancelTimer(buf.timer);
     buf.timer = kInvalidTimer;
   }
+  const NodeId to = it->first;
+  if (buf.held.empty()) {
+    uplink_.erase(it);
+    return;
+  }
   bool any_early = false;
   for (const UplinkBuffer::Held& h : buf.held) any_early |= h.early;
   if (any_early) relay_metrics_.early_batches++;
   if (buf.held.size() == 1) {
-    env_->Send(to, std::move(buf.held[0].resp));
-  } else {
-    auto bundle = std::make_shared<RelayBundle>();
-    bundle->sender = id();
-    bundle->responses.reserve(buf.held.size());
-    for (UplinkBuffer::Held& h : buf.held) {
-      bundle->responses.push_back(std::move(h.resp));
-    }
-    relay_metrics_.uplink_bundles++;
-    relay_metrics_.uplink_coalesced += bundle->responses.size();
-    env_->Send(to, std::move(bundle));
+    std::shared_ptr<RelayResponse> resp = std::move(buf.held[0].resp);
+    uplink_.erase(it);
+    env_->Send(to, std::move(resp));
+    return;
   }
-  buf.held.clear();
+  auto bundle = MessagePool::Make<RelayBundle>();
+  bundle->sender = id();
+  bundle->responses.reserve(buf.held.size());
+  for (UplinkBuffer::Held& h : buf.held) {
+    bundle->responses.push_back(std::move(h.resp));
+  }
+  relay_metrics_.uplink_bundles++;
+  relay_metrics_.uplink_coalesced += bundle->responses.size();
+  uplink_.erase(it);
+  env_->Send(to, std::move(bundle));
 }
 
 void PigPaxosReplica::HandleRelayBundle(NodeId from,

@@ -138,13 +138,27 @@ class PigPaxosReplica : public PaxosReplica {
   void OnRelayTimeout(uint64_t relay_id);
   static bool IsReject(const Message& msg);
 
+  // Per-destination uplink coalescing buffers. An entry exists only
+  // while responses are held: flushing sends and erases it, so the map
+  // never accumulates one empty buffer per peer. `early` marks responses
+  // that count toward early_batches.
+  struct UplinkBuffer {
+    struct Held {
+      std::shared_ptr<RelayResponse> resp;
+      bool early = false;
+    };
+    std::vector<Held> held;
+    TimerId timer = kInvalidTimer;
+  };
+  using UplinkMap = std::unordered_map<NodeId, UplinkBuffer>;
+
   // Uplink coalescing: every outbound RelayResponse funnels through here.
   // `counts_as_early` marks threshold-triggered partial batches for the
   // early_batches metric (fast-tracked rejects and final batches do not
   // count).
   void SendUplink(NodeId to, std::shared_ptr<RelayResponse> resp,
                   bool counts_as_early);
-  void FlushUplink(NodeId to);
+  void FlushUplink(UplinkMap::iterator it);
 
   // Relay liveness tracking (leader side).
   NodeId PickLiveRelay(const std::vector<NodeId>& group);
@@ -166,17 +180,7 @@ class PigPaxosReplica : public PaxosReplica {
   std::unordered_map<NodeId, TimeNs> suspected_until_;
   TimerId relay_watch_timer_ = kInvalidTimer;
 
-  // Per-destination uplink coalescing buffers (empty when coalescing is
-  // off). `early` marks responses that count toward early_batches.
-  struct UplinkBuffer {
-    struct Held {
-      std::shared_ptr<RelayResponse> resp;
-      bool early = false;
-    };
-    std::vector<Held> held;
-    TimerId timer = kInvalidTimer;
-  };
-  std::unordered_map<NodeId, UplinkBuffer> uplink_;
+  UplinkMap uplink_;
 };
 
 }  // namespace pig::pigpaxos

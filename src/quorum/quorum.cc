@@ -24,15 +24,15 @@ std::string FlexibleQuorum::Name() const {
 }
 
 bool VoteTally::Ack(NodeId node) {
-  if (nacks_.count(node)) return false;
+  if (nacks_.Contains(node)) return false;
   bool was_passed = Passed();
-  acks_.insert(node);
+  acks_.Insert(node);
   return !was_passed && Passed();
 }
 
 void VoteTally::Nack(NodeId node) {
-  acks_.erase(node);
-  nacks_.insert(node);
+  acks_.Erase(node);
+  nacks_.Insert(node);
 }
 
 }  // namespace pig

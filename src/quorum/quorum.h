@@ -6,10 +6,13 @@
 // q1 + q2 > N.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -61,6 +64,64 @@ class FlexibleQuorum : public QuorumSystem {
   size_t q2_;
 };
 
+/// Dense membership set for vote accounting. Cluster NodeIds are small
+/// dense integers, so membership lives in a fixed 128-bit inline bitmap
+/// — no per-vote allocation on the tally path. Ids beyond the inline
+/// range (e.g. the conformance harness's synthetic fault voters near
+/// kInvalidNode) spill to a small unsorted vector.
+class VoteSet {
+ public:
+  bool Contains(NodeId node) const {
+    if (node < kInlineBits) {
+      return (words_[node >> 6] >> (node & 63)) & 1;
+    }
+    return std::find(overflow_.begin(), overflow_.end(), node) !=
+           overflow_.end();
+  }
+
+  /// Inserts `node`; returns true when it was newly added.
+  bool Insert(NodeId node) {
+    if (node < kInlineBits) {
+      uint64_t& word = words_[node >> 6];
+      const uint64_t bit = uint64_t{1} << (node & 63);
+      if (word & bit) return false;
+      word |= bit;
+      ++count_;
+      return true;
+    }
+    if (Contains(node)) return false;
+    overflow_.push_back(node);
+    ++count_;
+    return true;
+  }
+
+  /// Removes `node`; returns true when it was present.
+  bool Erase(NodeId node) {
+    if (node < kInlineBits) {
+      uint64_t& word = words_[node >> 6];
+      const uint64_t bit = uint64_t{1} << (node & 63);
+      if (!(word & bit)) return false;
+      word &= ~bit;
+      --count_;
+      return true;
+    }
+    auto it = std::find(overflow_.begin(), overflow_.end(), node);
+    if (it == overflow_.end()) return false;
+    *it = overflow_.back();
+    overflow_.pop_back();
+    --count_;
+    return true;
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  static constexpr NodeId kInlineBits = 128;
+  std::array<uint64_t, kInlineBits / 64> words_{};
+  std::vector<NodeId> overflow_;
+  size_t count_ = 0;
+};
+
 /// Counts distinct positive votes toward a quorum threshold and tracks
 /// negative votes (rejections) for early failure detection.
 class VoteTally {
@@ -83,12 +144,12 @@ class VoteTally {
   size_t ack_count() const { return acks_.size(); }
   size_t nack_count() const { return nacks_.size(); }
   size_t threshold() const { return threshold_; }
-  const std::set<NodeId>& acks() const { return acks_; }
+  bool HasAck(NodeId node) const { return acks_.Contains(node); }
 
  private:
   size_t threshold_;
-  std::set<NodeId> acks_;
-  std::set<NodeId> nacks_;
+  VoteSet acks_;
+  VoteSet nacks_;
 };
 
 }  // namespace pig

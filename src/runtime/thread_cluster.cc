@@ -19,6 +19,11 @@ struct ThreadCluster::Node {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Mail> mailbox;
+  // Drained wire buffers recycled to senders (guarded by mu): at steady
+  // state the encode->decode round trip reuses their capacity instead of
+  // allocating a fresh buffer per message.
+  std::vector<std::vector<uint8_t>> wire_pool;
+  static constexpr size_t kMaxPooledWireBuffers = 64;
   // timer id -> (deadline, callback)
   std::map<TimerId, std::pair<TimeNs, std::function<void()>>> timers;
   TimerId next_timer_id = 1;
@@ -36,7 +41,16 @@ class ThreadCluster::NodeEnv final : public Env {
   void Send(NodeId to, MessagePtr msg) override {
     Node* dest = cluster_->FindNode(to);
     if (dest == nullptr) return;
-    Mail mail{node_->id, EncodeMessage(*msg)};
+    Mail mail{node_->id, {}};
+    {
+      std::lock_guard<std::mutex> lock(dest->mu);
+      if (!dest->wire_pool.empty()) {
+        mail.wire = std::move(dest->wire_pool.back());
+        dest->wire_pool.pop_back();
+      }
+    }
+    // Encode outside the lock; a recycled buffer keeps its capacity.
+    EncodeMessageTo(*msg, &mail.wire);
     {
       std::lock_guard<std::mutex> lock(dest->mu);
       dest->mailbox.push_back(std::move(mail));
@@ -154,6 +168,10 @@ void ThreadCluster::ThreadMain(Node* node) {
                         << ": decode failed: " << s.ToString();
       }
       lock.lock();
+      // Hand the drained buffer back to future senders.
+      if (node->wire_pool.size() < Node::kMaxPooledWireBuffers) {
+        node->wire_pool.push_back(std::move(mail.wire));
+      }
       continue;
     }
 

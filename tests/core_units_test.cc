@@ -148,6 +148,62 @@ TEST(VoteTallyTest, NackOverridesAck) {
   EXPECT_FALSE(tally.Ack(1));  // nacked voters cannot ack
 }
 
+TEST(VoteTallyTest, HasAckTracksMembership) {
+  VoteTally tally(3);
+  tally.Ack(2);
+  EXPECT_TRUE(tally.HasAck(2));
+  EXPECT_FALSE(tally.HasAck(3));
+  tally.Nack(2);
+  EXPECT_FALSE(tally.HasAck(2));
+}
+
+// --- VoteSet (dense bitmap + overflow spill) --------------------------
+
+TEST(VoteSetTest, InlineBitmapBasics) {
+  VoteSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_TRUE(set.Insert(63));
+  EXPECT_TRUE(set.Insert(64));   // second word
+  EXPECT_TRUE(set.Insert(127));  // last inline bit
+  EXPECT_FALSE(set.Insert(63));  // duplicate
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.Contains(64));
+  EXPECT_FALSE(set.Contains(65));
+  EXPECT_TRUE(set.Erase(64));
+  EXPECT_FALSE(set.Erase(64));
+  EXPECT_FALSE(set.Contains(64));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(VoteSetTest, OverflowIdsSpillBeyondInlineRange) {
+  // The conformance harness's fault injection votes under synthetic ids
+  // near kInvalidNode; those must spill to the overflow path and still
+  // count/dedup correctly.
+  VoteSet set;
+  const NodeId fake1 = kInvalidNode - 1;
+  const NodeId fake2 = kInvalidNode - 2;
+  EXPECT_TRUE(set.Insert(fake1));
+  EXPECT_FALSE(set.Insert(fake1));
+  EXPECT_TRUE(set.Insert(fake2));
+  EXPECT_TRUE(set.Insert(5));  // inline and overflow coexist
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.Contains(fake1));
+  EXPECT_FALSE(set.Contains(kInvalidNode - 3));
+  EXPECT_TRUE(set.Erase(fake1));
+  EXPECT_FALSE(set.Contains(fake1));
+  EXPECT_TRUE(set.Contains(fake2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(VoteTallyTest, OverflowVotersCountTowardThreshold) {
+  VoteTally tally(3);
+  tally.Ack(1);
+  tally.Ack(kInvalidNode - 1);
+  EXPECT_TRUE(tally.Ack(kInvalidNode - 2));  // crosses the threshold
+  EXPECT_TRUE(tally.Passed());
+}
+
 // --- Workload ---------------------------------------------------------
 
 TEST(WorkloadTest, KeysFixedWidthAndInRange) {

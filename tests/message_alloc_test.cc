@@ -1,0 +1,159 @@
+// Allocation-count regression tests for the zero-throwaway-encode
+// message layer, using a global operator-new hook. What these pin:
+//
+//   * WireSize() on a cold message runs the counting sizer — zero heap
+//     traffic, where it used to do a full throwaway encode per message;
+//   * a steady-state fig7-shaped encode round reuses a scratch buffer's
+//     capacity, allocating nothing after warm-up;
+//   * MessagePool recycles a released message's heap block, so acquiring
+//     the same type again allocates nothing (skipped under sanitizers,
+//     where the pool is deliberately pass-through).
+//
+// The hook counts every operator-new in the process, so each assertion
+// brackets exactly the operation under test and compares raw counter
+// snapshots (gtest machinery itself allocates).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "consensus/message.h"
+#include "paxos/messages.h"
+#include "pigpaxos/messages.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace pig {
+namespace {
+
+uint64_t Allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// The message mix of one fig7-shaped relay round: a P2a proposal, its
+/// relay envelope, the per-follower P2b votes, and the aggregated
+/// RelayResponse going back up.
+struct Fig7Round {
+  std::shared_ptr<paxos::P2a> p2a;
+  std::shared_ptr<pigpaxos::RelayRequest> relay_req;
+  std::shared_ptr<pigpaxos::RelayResponse> relay_resp;
+};
+
+Fig7Round MakeFig7Round(SlotId slot) {
+  Fig7Round round;
+  round.p2a = std::make_shared<paxos::P2a>();
+  round.p2a->ballot = Ballot(3, 0);
+  round.p2a->slot = slot;
+  round.p2a->command = Command::Put("key00042", "value-00042",
+                                    kFirstClientId, 7);
+  round.p2a->commit_index = slot - 1;
+
+  round.relay_req = std::make_shared<pigpaxos::RelayRequest>();
+  round.relay_req->relay_id = 1000 + static_cast<uint64_t>(slot);
+  round.relay_req->origin = 0;
+  round.relay_req->members = {2, 3};
+  round.relay_req->inner = round.p2a;
+
+  round.relay_resp = std::make_shared<pigpaxos::RelayResponse>();
+  round.relay_resp->relay_id = round.relay_req->relay_id;
+  round.relay_resp->sender = 1;
+  round.relay_resp->responses.reserve(3);
+  for (NodeId n = 1; n <= 3; ++n) {
+    auto p2b = std::make_shared<paxos::P2b>();
+    p2b->sender = n;
+    p2b->ballot = Ballot(3, 0);
+    p2b->slot = slot;
+    p2b->ok = true;
+    round.relay_resp->responses.push_back(std::move(p2b));
+  }
+  return round;
+}
+
+TEST(MessageAllocTest, WireSizeOnColdMessagesAllocatesNothing) {
+  // Construct first (construction may allocate; sizing must not).
+  Fig7Round round = MakeFig7Round(5);
+  const uint64_t before = Allocations();
+  const size_t p2a_size = round.p2a->WireSize();
+  const size_t req_size = round.relay_req->WireSize();
+  const size_t resp_size = round.relay_resp->WireSize();
+  const uint64_t after = Allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "counting sizer touched the heap";
+  // Sanity: the sizes are real (the nested envelope outgrows its inner).
+  EXPECT_GT(p2a_size, 0u);
+  EXPECT_GT(req_size, p2a_size);
+  EXPECT_GT(resp_size, 0u);
+}
+
+TEST(MessageAllocTest, SteadyStateEncodeRoundAllocatesNoEncoderBuffers) {
+  pigpaxos::RegisterPigPaxosMessages();
+  std::vector<uint8_t> scratch;
+  // Warm-up round: establishes the scratch capacity.
+  Fig7Round warm = MakeFig7Round(6);
+  EncodeMessageTo(*warm.relay_req, &scratch);
+  EncodeMessageTo(*warm.relay_resp, &scratch);
+  EncodeMessageTo(*warm.p2a, &scratch);
+
+  // Steady state: same-shaped round, messages pre-built, sizes still
+  // cold — encode (sizer included) must reuse the scratch exclusively.
+  Fig7Round round = MakeFig7Round(7);
+  const uint64_t before = Allocations();
+  EncodeMessageTo(*round.relay_req, &scratch);
+  EncodeMessageTo(*round.relay_resp, &scratch);
+  EncodeMessageTo(*round.p2a, &scratch);
+  const uint64_t after = Allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state encode allocated a buffer";
+}
+
+TEST(MessageAllocTest, MessagePoolRecyclesSteadyState) {
+  if (!MessagePool::enabled()) {
+    GTEST_SKIP() << "pool is pass-through in sanitizer builds";
+  }
+  // Warm-up: one acquire/release primes this thread's free list.
+  { auto warm = MessagePool::Make<paxos::P2b>(); }
+  const uint64_t before = Allocations();
+  {
+    auto p2b = MessagePool::Make<paxos::P2b>();
+    p2b->sender = 2;
+    p2b->slot = 9;
+  }
+  const uint64_t after = Allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "pooled acquire after release hit the heap";
+}
+
+}  // namespace
+}  // namespace pig

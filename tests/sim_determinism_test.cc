@@ -221,6 +221,54 @@ TEST(SimDeterminismTest, SameSeedBatchedPipelinedRunsAreIdentical) {
   EXPECT_EQ(a.stale_replies, b.stale_replies);
 }
 
+/// Stress shape for the PR 4 message layer: multi-layer relay trees
+/// (shared immutable leaf envelopes fan the same MessagePtr to every
+/// member), pooled envelope recycling, threshold-triggered partial
+/// batches, and uplink coalescing — all active at once. Two same-seed
+/// runs must still agree on every report field, byte for byte, proving
+/// the zero-allocation message layer changes no observable behavior.
+harness::RunResult MessageLayerStressRun(uint64_t seed) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kPigPaxos;
+  cfg.num_replicas = 25;
+  cfg.relay_groups = 2;
+  cfg.relay_layers = 2;
+  cfg.group_response_threshold = 4;
+  cfg.num_clients = 16;
+  cfg.workload.read_ratio = 0.5;
+  cfg.warmup = 100 * kMillisecond;
+  cfg.measure = 300 * kMillisecond;
+  cfg.seed = seed;
+  cfg.batch_size = 4;
+  cfg.pipeline_depth = 4;
+  cfg.uplink_coalesce_max = 3;
+  return harness::RunExperiment(cfg);
+}
+
+TEST(SimDeterminismTest, SameSeedMessageLayerStressRunsAreIdentical) {
+  harness::RunResult a = MessageLayerStressRun(42);
+  harness::RunResult b = MessageLayerStressRun(42);
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_GT(a.relay_early_batches, 0u)
+      << "threshold partial batches never engaged";
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.redirects, b.redirects);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.msgs_per_request, b.msgs_per_request);
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_EQ(a.relay_timeouts, b.relay_timeouts);
+  EXPECT_EQ(a.relay_early_batches, b.relay_early_batches);
+  EXPECT_EQ(a.uplink_bundles, b.uplink_bundles);
+  EXPECT_EQ(a.uplink_coalesced, b.uplink_coalesced);
+  EXPECT_EQ(a.mean_batch_size, b.mean_batch_size);
+}
+
 /// The engine at batch=1/depth=1 is *off*: a default-options run and an
 /// explicitly "disabled engine" run must produce identical reports (the
 /// legacy proposal path is untouched).

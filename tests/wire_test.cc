@@ -4,6 +4,8 @@
 // crash or loop).
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "common/rng.h"
 #include "consensus/client_messages.h"
 #include "statemachine/batch.h"
@@ -442,6 +444,223 @@ TEST_F(WireTest, LogSyncClientRecordsRoundTrip) {
   EXPECT_EQ(got.client_records[0].value, "result");
   EXPECT_EQ(got.client_records[0].slot, 8);
   CheckTruncations(resp);
+}
+
+/// One representative (fully populated) instance per message type,
+/// nested envelopes included.
+std::map<MsgType, MessagePtr> ExemplarMessages() {
+  std::map<MsgType, MessagePtr> out;
+  auto add = [&out](std::shared_ptr<const Message> m) {
+    out.emplace(m->type(), std::move(m));
+  };
+
+  add(std::make_shared<ClientRequest>(
+      Command::Put("key", "value", kFirstClientId + 3, 77)));
+
+  auto reply = std::make_shared<ClientReply>();
+  reply->seq = 12;
+  reply->code = StatusCode::kNotLeader;
+  reply->value = "hello";
+  reply->leader_hint = 4;
+  reply->slot = 991;
+  add(reply);
+
+  auto hb = std::make_shared<Heartbeat>();
+  hb->ballot = Ballot(9, 2);
+  hb->commit_index = 1234;
+  add(hb);
+
+  auto p1a = std::make_shared<paxos::P1a>();
+  p1a->ballot = Ballot(3, 1);
+  p1a->commit_index = 10;
+  add(p1a);
+
+  auto p1b = std::make_shared<paxos::P1b>();
+  p1b->sender = 7;
+  p1b->ballot = Ballot(3, 1);
+  p1b->ok = true;
+  p1b->commit_index = 9;
+  p1b->entries.push_back(paxos::AcceptedEntry{
+      11, Ballot(2, 0), Command::Put("a", "b", kFirstClientId, 5), true});
+  add(p1b);
+
+  auto p2a = std::make_shared<paxos::P2a>();
+  p2a->ballot = Ballot(5, 0);
+  p2a->slot = 42;
+  p2a->command = BatchCommand::Wrap(
+      {Command::Put("a", "1", kFirstClientId, 5),
+       Command::Get("b", kFirstClientId + 1, 9)});
+  p2a->commit_index = 41;
+  add(p2a);
+
+  auto p2b = std::make_shared<paxos::P2b>();
+  p2b->sender = 3;
+  p2b->ballot = Ballot(5, 0);
+  p2b->slot = 42;
+  p2b->ok = true;
+  add(p2b);
+
+  auto p3 = std::make_shared<paxos::P3>();
+  p3->ballot = Ballot(5, 0);
+  p3->commit_index = 42;
+  add(p3);
+
+  auto sync_req = std::make_shared<paxos::LogSyncRequest>();
+  sync_req->sender = 2;
+  sync_req->from = 5;
+  sync_req->to = 30;
+  add(sync_req);
+
+  auto sync_resp = std::make_shared<paxos::LogSyncResponse>();
+  sync_resp->ballot = Ballot(4, 1);
+  sync_resp->commit_index = 30;
+  sync_resp->snapshot_upto = 25;
+  sync_resp->snapshot = {{"k1", "v1"}, {"k2", std::string(300, 'x')}};
+  sync_resp->entries.push_back(paxos::AcceptedEntry{
+      26, Ballot(4, 1), Command::Put("k3", "v3", kFirstClientId, 9), true});
+  sync_resp->client_records.push_back(
+      paxos::ClientSeqRecord{kFirstClientId, 17, "result", 8});
+  add(sync_resp);
+
+  auto relay_req = std::make_shared<pigpaxos::RelayRequest>();
+  relay_req->relay_id = 0xdeadbeef;
+  relay_req->origin = 2;
+  relay_req->members = {3, 4, 5};
+  relay_req->sub_layers = 1;
+  relay_req->inner = out.at(MsgType::kP2a);
+  add(relay_req);
+
+  auto relay_resp = std::make_shared<pigpaxos::RelayResponse>();
+  relay_resp->relay_id = 0xdeadbeef;
+  relay_resp->sender = 3;
+  relay_resp->final_batch = false;
+  relay_resp->responses.push_back(out.at(MsgType::kP2b));
+  relay_resp->responses.push_back(out.at(MsgType::kP1b));
+  add(relay_resp);
+
+  auto bundle = std::make_shared<pigpaxos::RelayBundle>();
+  bundle->sender = 3;
+  bundle->responses.push_back(out.at(MsgType::kRelayResponse));
+  add(bundle);
+
+  auto pre = std::make_shared<epaxos::PreAccept>();
+  pre->ballot = Ballot(1, 4);
+  pre->inst = epaxos::InstanceId{4, 17};
+  pre->cmd = Command::Put("k", "v", kFirstClientId, 2);
+  pre->seq = 9;
+  pre->deps = {{0, 3}, {2, 8}};
+  add(pre);
+
+  auto pre_reply = std::make_shared<epaxos::PreAcceptReply>();
+  pre_reply->sender = 1;
+  pre_reply->inst = epaxos::InstanceId{4, 17};
+  pre_reply->seq = 10;
+  pre_reply->deps = {{0, 3}, {1, 5}};
+  add(pre_reply);
+
+  auto acc = std::make_shared<epaxos::EAccept>();
+  acc->ballot = Ballot(1, 4);
+  acc->inst = epaxos::InstanceId{4, 17};
+  acc->cmd = pre->cmd;
+  acc->seq = 10;
+  acc->deps = pre->deps;
+  add(acc);
+
+  auto acc_reply = std::make_shared<epaxos::EAcceptReply>();
+  acc_reply->sender = 2;
+  acc_reply->inst = epaxos::InstanceId{4, 17};
+  add(acc_reply);
+
+  auto commit = std::make_shared<epaxos::ECommit>();
+  commit->inst = epaxos::InstanceId{4, 17};
+  commit->cmd = pre->cmd;
+  commit->seq = 10;
+  commit->deps = pre->deps;
+  add(commit);
+
+  auto read_req = std::make_shared<paxos::QuorumReadRequest>();
+  read_req->key = "config/flags";
+  read_req->read_id = 55;
+  add(read_req);
+
+  auto read_reply = std::make_shared<paxos::QuorumReadReply>();
+  read_reply->sender = 6;
+  read_reply->read_id = 55;
+  read_reply->value = "on";
+  read_reply->version_slot = 880;
+  read_reply->pending_write = true;
+  add(read_reply);
+
+  return out;
+}
+
+/// Registry-driven property: for EVERY registered message type (nested
+/// RelayRequest/RelayBundle included), the counting sizer behind
+/// WireSize() must agree byte-for-byte with the writing encoder, and the
+/// decoded copy must re-encode to the same size. A type added to the
+/// registry without an exemplar here fails the sweep.
+TEST_F(WireTest, WireSizeMatchesEncodedSizeForEveryRegisteredType) {
+  std::map<MsgType, MessagePtr> exemplars = ExemplarMessages();
+  std::vector<MsgType> registered = RegisteredMessageTypes();
+  ASSERT_GE(registered.size(), 20u);
+  for (MsgType type : registered) {
+    auto it = exemplars.find(type);
+    ASSERT_NE(it, exemplars.end())
+        << "no exemplar for registered wire tag "
+        << static_cast<unsigned>(type);
+    const Message& msg = *it->second;
+    std::vector<uint8_t> wire = EncodeMessage(msg);
+    EXPECT_EQ(msg.WireSize(), wire.size())
+        << "counting sizer disagrees with encoder for "
+        << msg.DebugString();
+    MessagePtr decoded;
+    ASSERT_TRUE(DecodeMessage(wire, &decoded).ok());
+    EXPECT_EQ(decoded->WireSize(), wire.size());
+    EXPECT_EQ(EncodeMessage(*decoded), wire);
+  }
+}
+
+/// The scratch-buffer encode path must be byte-identical to the plain
+/// one, for every registered type, including when the scratch arrives
+/// dirty or oversized.
+TEST_F(WireTest, EncodeMessageToMatchesEncodeMessage) {
+  std::vector<uint8_t> scratch = {0xff, 0xff, 0xff};  // dirty on entry
+  for (const auto& [type, msg] : ExemplarMessages()) {
+    EncodeMessageTo(*msg, &scratch);
+    EXPECT_EQ(scratch, EncodeMessage(*msg))
+        << "scratch encode mismatch for " << msg->DebugString();
+  }
+}
+
+/// A synthetic message whose counted size is enormous (PutBytes in
+/// counting mode charges the length without touching the data), driving
+/// the generic DebugString through its widest formatting case.
+struct HugeCountedMessage final : Message {
+  size_t fake_payload;
+  explicit HugeCountedMessage(size_t n) : fake_payload(n) {}
+  MsgType type() const override { return static_cast<MsgType>(250); }
+  void EncodeBody(Encoder& enc) const override {
+    static const char byte = 'x';
+    enc.PutBytes(std::string_view(&byte, fake_payload));
+  }
+};
+
+TEST_F(WireTest, DebugStringNeverTruncates) {
+  // Normal case.
+  paxos::P3 p3;
+  p3.ballot = Ballot(5, 0);
+  Message& base = p3;
+  EXPECT_EQ(base.Message::DebugString(),
+            "msg(type=14, " + std::to_string(p3.WireSize()) + " bytes)");
+
+  // Near-max width: 3-digit tag and a 17-digit counted size must come
+  // through complete, closing parenthesis included.
+  HugeCountedMessage huge(99999999999999999ull);
+  std::string s = huge.DebugString();
+  EXPECT_EQ(s, "msg(type=250, " + std::to_string(huge.WireSize()) +
+                   " bytes)");
+  EXPECT_GE(s.size(), 38u);
+  EXPECT_EQ(s.back(), ')');
 }
 
 TEST_F(WireTest, WireSizeGrowsWithPayload) {
