@@ -61,6 +61,14 @@ PINNED_BY_BINARY = {
         "BM_WireSizeColdP2b",
         "BM_WireSizeColdRelayResponse/8",
     ],
+    # Scenario engine (PR 5): smoke-sized partitioned-WAN chaos sweep
+    # (PigPaxos + Ring baseline under an identical scripted schedule) and
+    # the fig8-shaped ring-pipeline run. The full cross-product sweep is
+    # manual: bench_scenario_sweep --full-sweep=<path>.
+    "bench_scenario_sweep": [
+        "BM_ScenarioSweepSmoke",
+        "BM_RingFig8",
+    ],
 }
 PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]
 

@@ -1,0 +1,232 @@
+#include "baselines/ring_replica.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "consensus/client_messages.h"
+#include "paxos/messages.h"
+
+namespace pig::baselines {
+
+// ---------------------------------------------------------------------------
+// RingPass wire format
+
+void RingPass::EncodeBody(Encoder& enc) const {
+  enc.PutU64(ring_id);
+  enc.PutU32(origin);
+  enc.PutBool(expects_response);
+  enc.PutVarint(hops.size());
+  for (NodeId h : hops) enc.PutU32(h);
+  EncodeNestedMessage(enc, *inner);
+  enc.PutVarint(votes.size());
+  for (const MessagePtr& v : votes) EncodeNestedMessage(enc, *v);
+}
+
+Status RingPass::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = MessagePool::Make<RingPass>();
+  Status s;
+  if (!(s = dec.GetU64(&m->ring_id)).ok()) return s;
+  if (!(s = dec.GetU32(&m->origin)).ok()) return s;
+  if (!(s = dec.GetBool(&m->expects_response)).ok()) return s;
+  uint64_t n = 0;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("hop count too big");
+  m->hops.resize(static_cast<size_t>(n));
+  for (auto& h : m->hops) {
+    if (!(s = dec.GetU32(&h)).ok()) return s;
+  }
+  if (!(s = DecodeNestedMessage(dec, &m->inner)).ok()) return s;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("vote count too big");
+  m->votes.resize(static_cast<size_t>(n));
+  for (auto& v : m->votes) {
+    if (!(s = DecodeNestedMessage(dec, &v)).ok()) return s;
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string RingPass::DebugString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "RingPass{id=%llu, origin=%u, %zu hops, %zu votes, inner=%s}",
+                static_cast<unsigned long long>(ring_id), origin, hops.size(),
+                votes.size(), inner ? inner->DebugString().c_str() : "null");
+  return buf;
+}
+
+void RegisterRingMessages() {
+  pig::RegisterCommonMessages();
+  paxos::RegisterPaxosMessages();
+  RegisterMessageDecoder(MsgType::kRingPass, &RingPass::DecodeBody);
+}
+
+// ---------------------------------------------------------------------------
+// RingReplica
+
+namespace {
+std::vector<NodeId> SuccessorOrder(NodeId self, size_t n) {
+  std::vector<NodeId> out;
+  out.reserve(n - 1);
+  for (size_t step = 1; step < n; ++step) {
+    out.push_back(static_cast<NodeId>((self + step) % n));
+  }
+  return out;
+}
+}  // namespace
+
+RingReplica::RingReplica(NodeId id, RingOptions options)
+    : PaxosReplica(id, options.paxos),
+      ring_options_(std::move(options)),
+      ring_order_(SuccessorOrder(id, ring_options_.paxos.num_replicas)),
+      // Disambiguate ring ids between origins: high bits carry the id.
+      next_ring_id_((static_cast<uint64_t>(id) << 40) + 1) {}
+
+RingReplica::~RingReplica() = default;
+
+TimeNs RingReplica::DefaultRingAckTimeout() const {
+  const auto n = static_cast<TimeNs>(ring_options_.paxos.num_replicas);
+  return std::max<TimeNs>(250 * kMillisecond, n * 25 * kMillisecond);
+}
+
+void RingReplica::OnStart() {
+  // Post-crash recovery: the round watch timer died with the crash.
+  ClearRoundWatch();
+  fallback_until_ = 0;
+  PaxosReplica::OnStart();
+}
+
+void RingReplica::OnLeadershipChange(bool is_leader) {
+  if (!is_leader) ClearRoundWatch();
+}
+
+void RingReplica::ClearRoundWatch() {
+  outstanding_rounds_.clear();
+  round_watch_.clear();
+  if (round_watch_timer_ != kInvalidTimer) {
+    env_->CancelTimer(round_watch_timer_);
+    round_watch_timer_ = kInvalidTimer;
+  }
+}
+
+void RingReplica::FanOut(MessagePtr msg, bool expects_response) {
+  if (ring_order_.empty()) return;  // single-node cluster
+  if (InFallback()) {
+    // The ring is (presumed) severed: behave exactly like plain Paxos
+    // until the fallback window closes, which keeps elections and
+    // retries live no matter which hop died.
+    ring_metrics_.fallback_fanouts++;
+    PaxosReplica::FanOut(std::move(msg), expects_response);
+    return;
+  }
+  auto rp = MessagePool::Make<RingPass>();
+  rp->ring_id = next_ring_id_++;
+  rp->origin = id();
+  rp->expects_response = expects_response;
+  rp->hops = ring_order_;
+  rp->inner = std::move(msg);
+  if (expects_response) {
+    ring_metrics_.rounds_started++;
+    WatchRound(rp->ring_id);
+  }
+  const NodeId first = rp->hops.front();
+  env_->Send(first, std::move(rp));
+}
+
+void RingReplica::OnMessage(NodeId from, const MessagePtr& msg) {
+  if (msg->type() == MsgType::kRingPass) {
+    HandleRingPass(static_cast<const RingPass&>(*msg));
+    return;
+  }
+  PaxosReplica::OnMessage(from, msg);
+}
+
+void RingReplica::HandleRingPass(const RingPass& rp) {
+  if (rp.origin == id()) {
+    // Completed traversal: unwrap the accumulated votes into the normal
+    // fan-in path. Late envelopes of an already-abandoned round still
+    // count their votes — identical to PigPaxos's late-response policy.
+    if (outstanding_rounds_.erase(rp.ring_id) > 0) {
+      ring_metrics_.rounds_completed++;
+    }
+    for (const MessagePtr& v : rp.votes) HandleResponse(*v);
+    return;
+  }
+
+  // Step 1: process the inner message as a regular follower.
+  MessagePtr own_response = HandleFanOutMessage(*rp.inner);
+
+  // Step 2: pass the envelope along. hops.front() is us; drop it, append
+  // our vote, and forward to the next hop (or return to the origin).
+  auto fwd = MessagePool::Make<RingPass>();
+  fwd->ring_id = rp.ring_id;
+  fwd->origin = rp.origin;
+  fwd->expects_response = rp.expects_response;
+  fwd->inner = rp.inner;
+  fwd->hops.reserve(rp.hops.empty() ? 0 : rp.hops.size() - 1);
+  bool dropped_self = false;
+  for (NodeId h : rp.hops) {
+    // Defensive: tolerate an envelope that lists us mid-hops (stale
+    // membership); only the first occurrence of self is consumed.
+    if (!dropped_self && h == id()) {
+      dropped_self = true;
+      continue;
+    }
+    fwd->hops.push_back(h);
+  }
+  if (rp.expects_response) {
+    fwd->votes = rp.votes;
+    if (own_response != nullptr) {
+      fwd->votes.push_back(std::move(own_response));
+      ring_metrics_.votes_carried++;
+    }
+  }
+  if (fwd->hops.empty()) {
+    // Last hop: return the accumulated votes; one-way envelopes die here.
+    if (rp.expects_response) {
+      const NodeId origin = fwd->origin;
+      env_->Send(origin, std::move(fwd));
+    }
+    return;
+  }
+  ring_metrics_.hops_forwarded++;
+  const NodeId next = fwd->hops.front();
+  env_->Send(next, std::move(fwd));
+}
+
+// ---------------------------------------------------------------------------
+// Round watch (leader side)
+
+void RingReplica::WatchRound(uint64_t ring_id) {
+  const TimeNs ack_timeout = ring_options_.ring_ack_timeout > 0
+                                 ? ring_options_.ring_ack_timeout
+                                 : DefaultRingAckTimeout();
+  outstanding_rounds_.insert(ring_id);
+  round_watch_.emplace_back(env_->Now() + ack_timeout, ring_id);
+  if (round_watch_timer_ == kInvalidTimer) {
+    round_watch_timer_ =
+        env_->SetTimer(ack_timeout, [this]() { RingWatchTick(); });
+  }
+}
+
+void RingReplica::RingWatchTick() {
+  round_watch_timer_ = kInvalidTimer;
+  const TimeNs now = env_->Now();
+  while (!round_watch_.empty() && round_watch_.front().first <= now) {
+    const uint64_t ring_id = round_watch_.front().second;
+    round_watch_.pop_front();
+    if (outstanding_rounds_.erase(ring_id) == 0) continue;  // completed
+    // A round aged out: some hop is dead or unreachable. The envelope
+    // cannot tell us which, so degrade to direct broadcast for a while;
+    // the propose-retry / election machinery re-sends through FanOut
+    // and now succeeds without the ring.
+    ring_metrics_.ring_timeouts++;
+    fallback_until_ = now + ring_options_.fallback_duration;
+  }
+  if (!round_watch_.empty()) {
+    round_watch_timer_ = env_->SetTimer(
+        round_watch_.front().first - now, [this]() { RingWatchTick(); });
+  }
+}
+
+}  // namespace pig::baselines

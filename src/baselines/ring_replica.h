@@ -1,0 +1,144 @@
+// Ring-pipeline Multi-Paxos baseline (Marandi et al., "Ring Paxos:
+// High-Throughput Atomic Broadcast").
+//
+// Acceptors are arranged in a fixed ring ordered by NodeId. The leader
+// injects each fan-out message (P1a/P2a, and one-way heartbeats/P3) as a
+// RingPass envelope sent to its successor; every hop processes the inner
+// message as a regular follower, appends its vote in-band, and forwards
+// the envelope to the next hop. The last hop returns the accumulated
+// votes to the origin in a single message. Per round every node —
+// including the leader — therefore handles O(1) messages, trading the
+// leader bottleneck for one full ring traversal of latency: exactly the
+// pipeline/latency trade-off PigPaxos's relay trees are compared against
+// (PAPERS.md; Charapko et al., "Scaling Strongly Consistent
+// Replication").
+//
+// Failure handling: a dead hop severs the ring, so the leader watches
+// every response-bearing round and, when one times out, falls back to
+// direct Paxos broadcast for `fallback_duration` (Ring Paxos
+// reconfigures the ring via its coordinator; degrading to direct
+// communication is the simulator-friendly equivalent that preserves
+// liveness under the same chaos schedules PigPaxos is validated on).
+// Decision logic is untouched PaxosReplica — like PigPaxos, the baseline
+// replaces only the communication layer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "paxos/replica.h"
+
+namespace pig::baselines {
+
+using pig::paxos::PaxosOptions;
+using pig::paxos::PaxosReplica;
+using pig::TimeNs;
+using pig::TimerId;
+
+/// The hop-by-hop ring envelope: carries the wrapped Paxos message down
+/// the remaining `hops` and accumulates each visited node's vote.
+struct RingPass final : Message {
+  /// Unique per round at the origin (origin id in the high bits).
+  uint64_t ring_id = 0;
+
+  /// The node that injected the envelope (leader / candidate).
+  NodeId origin = kInvalidNode;
+
+  /// False for one-way traffic (heartbeats, P3): no votes accumulate and
+  /// the envelope dies at the last hop instead of returning.
+  bool expects_response = true;
+
+  /// Nodes still to visit, in ring order; hops.front() is the envelope's
+  /// current addressee and pops itself before forwarding.
+  std::vector<NodeId> hops;
+
+  /// The wrapped Paxos message.
+  MessagePtr inner;
+
+  /// Votes (P1b/P2b) accumulated in-band by visited hops.
+  std::vector<MessagePtr> votes;
+
+  MsgType type() const override { return MsgType::kRingPass; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Registers the RingPass decoder (and the Paxos + common decoders it
+/// nests).
+void RegisterRingMessages();
+
+struct RingOptions {
+  PaxosOptions paxos;
+
+  /// Leader-side round watch: a response-bearing round not completed
+  /// within this long marks the ring broken. 0 derives
+  /// max(250 ms, 25 ms * num_replicas) — generous for one traversal of
+  /// a loaded LAN ring and comfortably above a 3-region WAN traversal.
+  TimeNs ring_ack_timeout = 0;
+
+  /// How long the leader broadcasts directly after a ring timeout before
+  /// trusting the ring again.
+  TimeNs fallback_duration = 1 * kSecond;
+};
+
+/// Counters specific to the ring layer.
+struct RingMetrics {
+  uint64_t rounds_started = 0;    ///< Response-bearing rounds injected.
+  uint64_t rounds_completed = 0;  ///< Envelopes that made it back.
+  uint64_t ring_timeouts = 0;     ///< Rounds that aged out (broken ring).
+  uint64_t fallback_fanouts = 0;  ///< Fan-outs served by direct broadcast.
+  uint64_t hops_forwarded = 0;    ///< Envelopes this node passed along.
+  uint64_t votes_carried = 0;     ///< Own responses appended in-band.
+};
+
+class RingReplica : public PaxosReplica {
+ public:
+  RingReplica(NodeId id, RingOptions options);
+  ~RingReplica() override;
+
+  void OnStart() override;
+  void OnMessage(NodeId from, const MessagePtr& msg) override;
+
+  const RingMetrics& ring_metrics() const { return ring_metrics_; }
+  const RingOptions& ring_options() const { return ring_options_; }
+
+  /// The derived round watch deadline used when ring_ack_timeout == 0.
+  TimeNs DefaultRingAckTimeout() const;
+
+  /// True while ring rounds are suspended in favor of direct broadcast.
+  bool InFallback() const { return env_->Now() < fallback_until_; }
+
+ protected:
+  /// Ring injection replacing direct broadcast (or delegating to it
+  /// while in fallback).
+  void FanOut(MessagePtr msg, bool expects_response) override;
+
+  /// Step-down drops the round watch: outstanding rounds of a deposed
+  /// leadership can never complete and would only fire spurious
+  /// fallbacks into the next term.
+  void OnLeadershipChange(bool is_leader) override;
+
+ private:
+  void HandleRingPass(const RingPass& rp);
+  void WatchRound(uint64_t ring_id);
+  void RingWatchTick();
+  void ClearRoundWatch();
+
+  RingOptions ring_options_;
+  RingMetrics ring_metrics_;
+  std::vector<NodeId> ring_order_;  ///< peers, successor-first.
+  uint64_t next_ring_id_;
+  TimeNs fallback_until_ = 0;
+
+  // Response-bearing rounds awaiting their envelope (leader side).
+  std::unordered_set<uint64_t> outstanding_rounds_;
+  std::deque<std::pair<TimeNs, uint64_t>> round_watch_;  // (deadline, id)
+  TimerId round_watch_timer_ = kInvalidTimer;
+};
+
+}  // namespace pig::baselines

@@ -53,6 +53,8 @@ enum class MsgType : uint8_t {
   // Paxos Quorum Reads extension (paxos/quorum_reads.h)
   kQuorumReadRequest = 40,
   kQuorumReadReply = 41,
+  // Ring-pipeline baseline (baselines/ring_replica.h)
+  kRingPass = 50,
 };
 
 /// Base class for every message exchanged between actors.

@@ -16,25 +16,25 @@ std::string ProtocolName(Protocol p) {
       return "PigPaxos";
     case Protocol::kEPaxos:
       return "EPaxos";
+    case Protocol::kRing:
+      return "Ring";
   }
   return "?";
 }
 
-namespace {
-
-/// Region assignment used for Topology::kWanVaCaOr: contiguous blocks of
-/// N/3 nodes per region; node 0 (the bootstrap leader) is in Virginia.
-int RegionOfNode(NodeId node, size_t num_replicas) {
+int WanRegionOfNode(NodeId node, size_t num_replicas) {
   const size_t per_region = (num_replicas + 2) / 3;
   size_t region = node / per_region;
   return static_cast<int>(std::min<size_t>(region, 2));
 }
 
+namespace {
+
 std::shared_ptr<net::RegionalLatency> BuildWanTopology(
     const ExperimentConfig& config) {
   auto topo = net::MakeVaCaOrTopology();
   for (NodeId n = 0; n < config.num_replicas; ++n) {
-    topo->AssignRegion(n, RegionOfNode(n, config.num_replicas));
+    topo->AssignRegion(n, WanRegionOfNode(n, config.num_replicas));
   }
   // Clients are colocated with the leader's region (default region 0 =
   // Virginia), matching the paper's setup.
@@ -68,6 +68,9 @@ RunResult RunExperiment(const ExperimentConfig& config) {
     wan = BuildWanTopology(config);
     copt.network.latency = wan;
   }
+  // A scenario-supplied model (e.g. WAN wrapped in a gray-slowdown
+  // decorator) wins over the plain topology default.
+  if (config.latency_override) copt.network.latency = config.latency_override;
 
   sim::Cluster cluster(copt);
 
@@ -83,18 +86,20 @@ RunResult RunExperiment(const ExperimentConfig& config) {
         pigpaxos::PigPaxosOptions popt;
         popt.paxos = MakePaxosOptions(config);
         popt.num_relay_groups = config.relay_groups;
+        popt.group_overlap = config.group_overlap;
         popt.relay_timeout = config.relay_timeout;
         popt.group_response_threshold = config.group_response_threshold;
         popt.relay_layers = config.relay_layers;
         popt.reshuffle_interval = config.reshuffle_interval;
         popt.uplink_coalesce_max = config.uplink_coalesce_max;
         popt.uplink_flush_delay = config.uplink_flush_delay;
-        if (config.topology == Topology::kWanVaCaOr) {
+        if (config.topology == Topology::kWanVaCaOr &&
+            config.region_grouping) {
           // One relay group per region (§6.4).
           popt.grouping = pigpaxos::GroupingStrategy::kRegion;
           const size_t n = config.num_replicas;
           popt.region_of = [n](NodeId node) {
-            return RegionOfNode(node, n);
+            return WanRegionOfNode(node, n);
           };
         }
         cluster.AddReplica(
@@ -106,6 +111,15 @@ RunResult RunExperiment(const ExperimentConfig& config) {
         eopt.num_replicas = config.num_replicas;
         cluster.AddReplica(
             id, std::make_unique<epaxos::EPaxosReplica>(id, eopt));
+        break;
+      }
+      case Protocol::kRing: {
+        baselines::RingOptions ropt;
+        ropt.paxos = MakePaxosOptions(config);
+        ropt.ring_ack_timeout = config.ring_ack_timeout;
+        ropt.fallback_duration = config.ring_fallback_duration;
+        cluster.AddReplica(
+            id, std::make_unique<baselines::RingReplica>(id, ropt));
         break;
       }
     }
@@ -177,8 +191,16 @@ RunResult RunExperiment(const ExperimentConfig& config) {
             static_cast<const pigpaxos::PigPaxosReplica*>(cluster.actor(id));
         result.relay_timeouts += pig->relay_metrics().relay_timeouts;
         result.relay_early_batches += pig->relay_metrics().early_batches;
+        result.relays_suspected += pig->relay_metrics().relays_suspected;
+        result.reshuffles += pig->relay_metrics().reshuffles;
         result.uplink_bundles += pig->relay_metrics().uplink_bundles;
         result.uplink_coalesced += pig->relay_metrics().uplink_coalesced;
+      } else if (config.protocol == Protocol::kRing) {
+        const auto* ring =
+            static_cast<const baselines::RingReplica*>(cluster.actor(id));
+        result.ring_rounds_completed += ring->ring_metrics().rounds_completed;
+        result.ring_timeouts += ring->ring_metrics().ring_timeouts;
+        result.ring_fallback_fanouts += ring->ring_metrics().fallback_fanouts;
       }
     }
   }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/ring_replica.h"
 #include "client/closed_loop_client.h"
 #include "net/latency.h"
 #include "paxos/replica.h"
@@ -21,7 +22,7 @@ namespace pig::harness {
 
 using pig::TimeNs;
 
-enum class Protocol { kPaxos, kPigPaxos, kEPaxos };
+enum class Protocol { kPaxos, kPigPaxos, kEPaxos, kRing };
 
 std::string ProtocolName(Protocol p);
 
@@ -40,6 +41,12 @@ struct ExperimentConfig {
 
   // --- PigPaxos-specific ------------------------------------------------
   size_t relay_groups = 2;
+  size_t group_overlap = 0;             ///< §3.3 overlapping groups.
+  /// On Topology::kWanVaCaOr, group relays by region (§6.4) — which
+  /// ignores `relay_groups` and makes one group per region. false keeps
+  /// contiguous id grouping, letting sweeps compare region-aligned vs
+  /// region-oblivious relay trees on the same WAN.
+  bool region_grouping = true;
   TimeNs relay_timeout = 50 * kMillisecond;
   size_t group_response_threshold = 0;  ///< §4.2 partial responses.
   uint32_t relay_layers = 1;            ///< §6.3 multi-layer trees.
@@ -52,8 +59,20 @@ struct ExperimentConfig {
   size_t flexible_q1 = 0;
   size_t flexible_q2 = 0;
 
+  // --- Ring-baseline-specific -------------------------------------------
+  TimeNs ring_ack_timeout = 0;          ///< 0 = derived (see RingOptions).
+  TimeNs ring_fallback_duration = 1 * kSecond;
+
   // --- Environment -------------------------------------------------------
   Topology topology = Topology::kLan;
+
+  /// When set, used as the network latency model instead of the one the
+  /// `topology` field implies. The topology field keeps steering
+  /// region-aware behavior (relay grouping, client placement), so a
+  /// scenario can e.g. wrap the WAN matrix in a gray-slowdown decorator
+  /// without losing region grouping.
+  std::shared_ptr<net::LatencyModel> latency_override;
+
   uint64_t seed = 1;
   double drop_probability = 0.0;
   sim::CpuModel replica_cpu = sim::DefaultReplicaCpu();
@@ -98,7 +117,14 @@ struct RunResult {
   uint64_t log_syncs = 0;
   uint64_t relay_timeouts = 0;   ///< PigPaxos only.
   uint64_t relay_early_batches = 0;
+  uint64_t relays_suspected = 0; ///< PigPaxos relay liveness blacklists.
+  uint64_t reshuffles = 0;       ///< PigPaxos dynamic regroupings.
   uint64_t stale_replies = 0;    ///< Duplicate replies clients discarded.
+
+  // Ring baseline counters (zero for other protocols).
+  uint64_t ring_rounds_completed = 0;
+  uint64_t ring_timeouts = 0;        ///< Broken-ring fallbacks triggered.
+  uint64_t ring_fallback_fanouts = 0;
 
   // Batching/pipelining counters (zero while the engine is off).
   uint64_t batches_proposed = 0;
@@ -139,5 +165,11 @@ double MaxThroughput(ExperimentConfig config, size_t start_clients = 32,
 /// Formats a latency/throughput table for console output.
 std::string FormatSweep(const std::string& title,
                         const std::vector<LoadPoint>& points);
+
+/// Region assignment used for Topology::kWanVaCaOr: contiguous blocks of
+/// ~N/3 nodes per region; node 0 (the bootstrap leader) is in Virginia.
+/// Shared by the experiment runner, the scenario engine, and the
+/// conformance harness so every layer agrees on the WAN layout.
+int WanRegionOfNode(NodeId node, size_t num_replicas);
 
 }  // namespace pig::harness

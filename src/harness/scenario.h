@@ -1,0 +1,211 @@
+// Scenario engine: declarative chaos scenarios and comparative sweeps.
+//
+// A ScenarioSpec describes an environment (topology / WAN region map)
+// plus a fault schedule — crashes, recoveries, partitions, gray
+// slowdowns, link cuts, forced regroupings — as data, at absolute
+// virtual times. The same spec drives three consumers:
+//
+//   * RunScenario / ApplyScenario: one measured harness run
+//     (ExperimentConfig) under the scripted faults,
+//   * RunScenarioSweep: a cross-product of
+//     {protocol x flexible-quorum x relay-groups x overlap x coalesce}
+//     configurations, all executed under IDENTICAL seeds and the
+//     identical schedule, emitting one comparative report that is
+//     byte-identical across same-seed reruns (SweepReportJson),
+//   * the conformance harness (tests/conformance.h), which checks the
+//     full invariant set under the same scripted schedules instead of
+//     randomized chaos.
+//
+// This is the experiment layer the paper and its follow-up ("Scaling
+// Strongly Consistent Replication") use to argue relay trees beat flat
+// Paxos and ring pipelines: partitioned-WAN runs, flexible-quorum x
+// relay-group interaction sweeps, and the Ring Paxos-style baseline
+// (baselines/ring_replica.h) under one roof.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+#include "net/latency.h"
+
+namespace pig::harness {
+
+enum class FaultKind {
+  kCrash,          ///< Silently crash `node`.
+  kRecover,        ///< Recover `node` (re-runs OnStart).
+  kPartition,      ///< Install `partition_groups` (group per replica id).
+  kHeal,           ///< Drop all partitions.
+  kGraySlowStart,  ///< Begin a gray slowdown of `node` (slow, not dead).
+  kGraySlowEnd,    ///< End `node`'s gray slowdown.
+  kLinkDown,       ///< Cut the directed link `node` -> `peer`.
+  kLinkUp,         ///< Restore the directed link `node` -> `peer`.
+  kReshuffle,      ///< Force a relay-group reshuffle at the current
+                   ///< PigPaxos leader (no-op for other protocols).
+};
+
+/// One scripted fault at an absolute virtual time (measured from run
+/// start, i.e. the same clock RunExperiment's warmup/measure use).
+struct FaultEvent {
+  TimeNs at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  NodeId node = kInvalidNode;  ///< crash/recover/gray/link-from.
+  NodeId peer = kInvalidNode;  ///< link-to.
+  std::vector<int> partition_groups;  ///< kPartition: group per replica.
+};
+
+// Event factories: schedules read as data tables.
+inline FaultEvent CrashEvent(TimeNs at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrash;
+  e.node = node;
+  return e;
+}
+inline FaultEvent RecoverEvent(TimeNs at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRecover;
+  e.node = node;
+  return e;
+}
+inline FaultEvent PartitionEvent(TimeNs at, std::vector<int> groups) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kPartition;
+  e.partition_groups = std::move(groups);
+  return e;
+}
+inline FaultEvent HealEvent(TimeNs at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kHeal;
+  return e;
+}
+inline FaultEvent GraySlowEvent(TimeNs at, NodeId node, bool start) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = start ? FaultKind::kGraySlowStart : FaultKind::kGraySlowEnd;
+  e.node = node;
+  return e;
+}
+inline FaultEvent LinkEvent(TimeNs at, NodeId from, NodeId to, bool down) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = down ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+  e.node = from;
+  e.peer = to;
+  return e;
+}
+inline FaultEvent ReshuffleEvent(TimeNs at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kReshuffle;
+  return e;
+}
+
+/// A named environment + fault schedule, independent of any protocol.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  Topology topology = Topology::kLan;
+
+  /// Extra one-way latency on every link touching a gray-slowed node.
+  TimeNs gray_extra_latency = 20 * kMillisecond;
+
+  /// Scripted faults, any order (scheduled individually by time).
+  std::vector<FaultEvent> schedule;
+
+  bool HasGrayEvents() const;
+};
+
+/// The latency models a scenario instantiated: `latency` goes into the
+/// cluster options (null = simulator default LAN), `sluggish` is the
+/// gray-slowdown decorator the schedule flips (null when the spec has no
+/// gray events).
+struct ScenarioRuntime {
+  std::shared_ptr<net::LatencyModel> latency;
+  std::shared_ptr<net::SluggishNodeLatency> sluggish;
+};
+
+/// Builds the scenario's latency model for `num_replicas` replicas
+/// (VaCaOr WAN matrix with contiguous region blocks for
+/// Topology::kWanVaCaOr), wrapped in a SluggishNodeLatency when the
+/// schedule contains gray events.
+ScenarioRuntime PrepareScenario(const ScenarioSpec& spec,
+                                size_t num_replicas);
+
+/// Schedules every FaultEvent onto the cluster's virtual clock. Call
+/// between cluster construction and the run (before or after Start()).
+void ScheduleScenario(const ScenarioSpec& spec, const ScenarioRuntime& rt,
+                      sim::Cluster& cluster);
+
+/// Clears residual scenario state so a run can quiesce cleanly: recovers
+/// crashed replicas, heals partitions and downed links recorded in the
+/// schedule, and ends gray slowdowns.
+void HealScenario(const ScenarioSpec& spec, const ScenarioRuntime& rt,
+                  sim::Cluster& cluster, size_t num_replicas);
+
+/// Wires the scenario into an ExperimentConfig: topology, latency
+/// override, and a customize hook that schedules the fault events
+/// (chained after any existing hook).
+void ApplyScenario(const ScenarioSpec& spec, ExperimentConfig& config);
+
+/// Convenience: ApplyScenario + RunExperiment.
+RunResult RunScenario(const ScenarioSpec& spec, ExperimentConfig config);
+
+// ---------------------------------------------------------------------------
+// Comparative sweeps
+
+/// Axes of the configuration cross-product. The PigPaxos-only axes
+/// (relay groups, overlap, coalesce) collapse to a single row for other
+/// protocols, so e.g. {Paxos, PigPaxos, Ring} x 2 quorums x 2 groups
+/// yields 2 + 8 + 2 rows (with one overlap and two coalesce values),
+/// not 24.
+struct SweepAxes {
+  std::vector<Protocol> protocols = {Protocol::kPaxos, Protocol::kPigPaxos,
+                                     Protocol::kRing};
+  /// (q1, q2) pairs; (0, 0) = classic majority.
+  std::vector<std::pair<size_t, size_t>> quorums = {{0, 0}};
+  std::vector<size_t> relay_groups = {3};
+  std::vector<size_t> overlaps = {0};
+  std::vector<size_t> coalesce = {1};
+};
+
+/// One executed configuration of a sweep.
+struct SweepRow {
+  std::string label;
+  Protocol protocol = Protocol::kPaxos;
+  size_t q1 = 0, q2 = 0;
+  size_t relay_groups = 0;  ///< 0 for non-relay protocols.
+  size_t overlap = 0;
+  size_t coalesce = 1;
+  RunResult result;
+};
+
+struct SweepReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  size_t num_replicas = 0;
+  std::vector<SweepRow> rows;
+};
+
+/// Executes the full cross-product under `base` (seed, cluster size,
+/// load, batching knobs are shared by every row; protocol/quorum/relay
+/// fields are overwritten per row) with the scenario's schedule applied
+/// identically to every configuration.
+SweepReport RunScenarioSweep(const ScenarioSpec& spec, const SweepAxes& axes,
+                             const ExperimentConfig& base);
+
+/// Serializes a report deterministically: fixed field order, fixed
+/// decimal formatting, no timestamps or host info — the same sweep under
+/// the same seed must serialize byte-identically.
+std::string SweepReportJson(const SweepReport& report);
+
+/// Writes SweepReportJson to `path`.
+Status WriteSweepReportJson(const std::string& path,
+                            const SweepReport& report);
+
+}  // namespace pig::harness

@@ -94,6 +94,8 @@ class SluggishNodeLatency : public LatencyModel {
       : base_(std::move(base)), extra_(extra) {}
 
   void MarkSluggish(NodeId node) { sluggish_.insert(node); }
+  /// Ends a gray slowdown (scenario schedules flip nodes both ways).
+  void ClearSluggish(NodeId node) { sluggish_.erase(node); }
 
   TimeNs Sample(NodeId from, NodeId to, Rng& rng) const override {
     TimeNs t = base_->Sample(from, to, rng);

@@ -410,6 +410,7 @@ void PaxosReplica::BecomeLeader() {
   }
   ArmHeartbeatTimer();
   ArmRetryTimer();
+  OnLeadershipChange(true);
   // Announce leadership immediately so follower election timers reset.
   auto hb = std::make_shared<Heartbeat>();
   hb->ballot = promised_;
@@ -441,6 +442,7 @@ void PaxosReplica::StepDown(const Ballot& higher) {
   }
   last_leader_contact_ = env_->Now();
   ArmElectionTimer();
+  OnLeadershipChange(false);
 }
 
 // ---------------------------------------------------------------------------

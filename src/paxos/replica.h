@@ -159,6 +159,14 @@ class PaxosReplica : public Actor {
   /// communication; exposed so subclasses can intercept.
   const std::vector<NodeId>& peers() const { return peers_; }
 
+  /// Invoked after this node gains (BecomeLeader) or loses (StepDown)
+  /// leadership, once the role change is complete. Subclasses hook
+  /// leader-only machinery here — e.g. the PigPaxos reshuffle timer,
+  /// which must not tick on followers. NOT called for the silent
+  /// demotion in OnStart (crash recovery): timers are dead at that
+  /// point and subclasses reset their state in their own OnStart.
+  virtual void OnLeadershipChange(bool is_leader) { (void)is_leader; }
+
   // --- Shared internals -------------------------------------------------
 
   void HandleClientRequest(NodeId from, const ClientRequest& req);

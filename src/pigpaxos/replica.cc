@@ -38,22 +38,65 @@ PigPaxosReplica::PigPaxosReplica(NodeId id, PigPaxosOptions options)
 PigPaxosReplica::~PigPaxosReplica() = default;
 
 void PigPaxosReplica::OnStart() {
-  PaxosReplica::OnStart();
-  // Post-crash recovery: held uplink responses died with our timers.
+  // Post-crash recovery: all our timers died with the crash, so every
+  // piece of relay-layer state tied to one is stale. Held uplink
+  // responses, open aggregations, and the leader-side relay watch are
+  // all dropped; peers recover via the origin's propose retry. The
+  // reset runs before PaxosReplica::OnStart() because the base call can
+  // win an instant election (single-node quorum) and re-arm leader-side
+  // machinery through OnLeadershipChange.
   for (auto& [to, buf] : uplink_) {
     if (buf.timer != kInvalidTimer) env_->CancelTimer(buf.timer);
   }
   uplink_.clear();
-  if (pig_options_.reshuffle_interval > 0 &&
-      reshuffle_timer_ == kInvalidTimer) {
-    reshuffle_timer_ = env_->SetTimer(pig_options_.reshuffle_interval,
-                                      [this]() { ReshuffleTick(); });
+  for (auto& [id, agg] : aggregations_) {
+    if (agg.timer != kInvalidTimer) env_->CancelTimer(agg.timer);
+  }
+  aggregations_.clear();
+  outstanding_relays_.clear();
+  relay_watch_.clear();
+  suspected_until_.clear();
+  if (relay_watch_timer_ != kInvalidTimer) {
+    env_->CancelTimer(relay_watch_timer_);
+    relay_watch_timer_ = kInvalidTimer;
+  }
+  if (reshuffle_timer_ != kInvalidTimer) {
+    env_->CancelTimer(reshuffle_timer_);
+    reshuffle_timer_ = kInvalidTimer;
+  }
+  PaxosReplica::OnStart();
+}
+
+void PigPaxosReplica::OnLeadershipChange(bool is_leader) {
+  if (is_leader) {
+    if (pig_options_.reshuffle_interval > 0 &&
+        reshuffle_timer_ == kInvalidTimer) {
+      reshuffle_timer_ = env_->SetTimer(pig_options_.reshuffle_interval,
+                                        [this]() { ReshuffleTick(); });
+    }
+    return;
+  }
+  // Step-down (also fired for failed candidacies): reshuffling and the
+  // relay-ack watch are leader work. Outstanding rounds of the deposed
+  // leadership can never complete normally, so letting the watch run
+  // them out would blacklist healthy relays for the next term.
+  if (reshuffle_timer_ != kInvalidTimer) {
+    env_->CancelTimer(reshuffle_timer_);
+    reshuffle_timer_ = kInvalidTimer;
+  }
+  outstanding_relays_.clear();
+  relay_watch_.clear();
+  if (relay_watch_timer_ != kInvalidTimer) {
+    env_->CancelTimer(relay_watch_timer_);
+    relay_watch_timer_ = kInvalidTimer;
   }
 }
 
 void PigPaxosReplica::ReshuffleTick() {
   reshuffle_timer_ = kInvalidTimer;
-  if (IsLeader()) ReshuffleGroups();
+  // Armed only while leading, but a step-down can race the queued tick.
+  if (!IsLeader()) return;
+  ReshuffleGroups();
   if (pig_options_.reshuffle_interval > 0) {
     reshuffle_timer_ = env_->SetTimer(pig_options_.reshuffle_interval,
                                       [this]() { ReshuffleTick(); });
@@ -114,10 +157,29 @@ NodeId PigPaxosReplica::PickLiveRelay(const std::vector<NodeId>& group) {
   return group[env_->rng().NextBounded(group.size())];
 }
 
+TimeNs PigPaxosReplica::DefaultRelayAckTimeout() const {
+  // A relay at the top of a `relay_layers`-deep tree arms its own
+  // aggregation timer at relay_timeout * (1 + sub_layers) so its window
+  // covers its children's (see HandleRelayRequest) — i.e. the leader can
+  // legitimately hear nothing for relay_timeout * relay_layers before
+  // the relay's timeout flush even departs. Budget one extra
+  // relay_timeout for delivery/scheduling slack (for a 1-layer tree
+  // this reproduces the historical 2 * relay_timeout), and when uplink
+  // coalescing is on, every hop of the response path — leaf, sub-relays,
+  // top relay — may additionally hold its uplink for uplink_flush_delay.
+  const auto layers =
+      static_cast<TimeNs>(std::max<uint32_t>(1, pig_options_.relay_layers));
+  TimeNs deadline = pig_options_.relay_timeout * (layers + 1);
+  if (pig_options_.uplink_coalesce_max > 1) {
+    deadline += (layers + 1) * pig_options_.uplink_flush_delay;
+  }
+  return deadline;
+}
+
 void PigPaxosReplica::WatchRelay(uint64_t relay_id, NodeId relay) {
   const TimeNs ack_timeout = pig_options_.relay_ack_timeout > 0
                                  ? pig_options_.relay_ack_timeout
-                                 : 2 * pig_options_.relay_timeout;
+                                 : DefaultRelayAckTimeout();
   outstanding_relays_.emplace(relay_id, relay);
   relay_watch_.emplace_back(env_->Now() + ack_timeout, relay_id);
   if (relay_watch_timer_ == kInvalidTimer) {
@@ -129,6 +191,16 @@ void PigPaxosReplica::WatchRelay(uint64_t relay_id, NodeId relay) {
 void PigPaxosReplica::RelayWatchTick() {
   relay_watch_timer_ = kInvalidTimer;
   const TimeNs now = env_->Now();
+  // Sweep expired suspicions: IsSuspected already ignores them, but
+  // without pruning a long chaos run grows the map one dead NodeId at a
+  // time and re-suspicions keep resurrecting stale entries forever.
+  for (auto it = suspected_until_.begin(); it != suspected_until_.end();) {
+    if (it->second <= now) {
+      it = suspected_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   while (!relay_watch_.empty() && relay_watch_.front().first <= now) {
     uint64_t relay_id = relay_watch_.front().second;
     relay_watch_.pop_front();

@@ -64,8 +64,13 @@ struct PigPaxosOptions {
   /// Relay liveness: if no response (not even partial) arrives from a
   /// relay within this long, the leader suspects it and avoids choosing
   /// it as relay for `suspicion_duration`. Models the connection-level
-  /// failure detection a TCP transport gets for free. 0 derives
-  /// 2 * relay_timeout.
+  /// failure detection a TCP transport gets for free. 0 derives a
+  /// deadline from the tree depth and uplink coalescing slack (see
+  /// PigPaxosReplica::DefaultRelayAckTimeout): a multi-layer tree
+  /// legitimately takes relay_timeout * (1 + sub_layers) to aggregate,
+  /// and every hop may hold its uplink for uplink_flush_delay, so a
+  /// fixed 2 * relay_timeout would suspect healthy relays in deep-tree
+  /// or coalescing configurations.
   TimeNs relay_ack_timeout = 0;
   TimeNs suspicion_duration = 2 * kSecond;
 
@@ -111,9 +116,30 @@ class PigPaxosReplica : public PaxosReplica {
   /// Admin hook: force a dynamic regrouping now (§4.1).
   void ReshuffleGroups();
 
+  /// The derived relay-ack watch deadline used when
+  /// relay_ack_timeout == 0: one relay_timeout window per aggregation
+  /// level plus one for network/scheduling slack, plus one
+  /// uplink_flush_delay per hop when coalescing can hold responses.
+  /// Equals the historical 2 * relay_timeout for a single-layer tree
+  /// without coalescing.
+  TimeNs DefaultRelayAckTimeout() const;
+
+  // --- Introspection (tests) -------------------------------------------
+  /// Nodes currently carrying a (possibly expired, not yet swept)
+  /// suspicion entry.
+  size_t suspected_entries() const { return suspected_until_.size(); }
+  bool reshuffle_timer_armed() const {
+    return reshuffle_timer_ != kInvalidTimer;
+  }
+
  protected:
   /// Relay-tree fan-out replacing direct broadcast.
   void FanOut(MessagePtr msg, bool expects_response) override;
+
+  /// Arms the dynamic-regrouping timer on leadership acquisition and
+  /// cancels it on step-down: reshuffling is leader work, and a timer
+  /// ticking forever on every follower is pure churn.
+  void OnLeadershipChange(bool is_leader) override;
 
  private:
   struct Aggregation {

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/ring_replica.h"
+#include "harness/scenario.h"
 #include "linearizability.h"
 #include "statemachine/batch.h"
 #include "test_util.h"
@@ -136,13 +138,29 @@ paxos::PaxosOptions MakePaxosOptions(const ConformanceConfig& cfg,
 
 void AddReplicas(sim::Cluster& cluster, const ConformanceConfig& cfg,
                  bool inject_fault) {
-  if (cfg.use_pig) {
+  if (cfg.use_ring) {
+    baselines::RingOptions opt;
+    opt.paxos = MakePaxosOptions(cfg, inject_fault);
+    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+      cluster.AddReplica(i, std::make_unique<baselines::RingReplica>(i, opt));
+    }
+  } else if (cfg.use_pig) {
     pigpaxos::PigPaxosOptions opt;
     opt.paxos = MakePaxosOptions(cfg, inject_fault);
     opt.num_relay_groups = cfg.relay_groups;
     opt.group_overlap = cfg.group_overlap;
     opt.relay_timeout = 20 * kMillisecond;
     opt.uplink_coalesce_max = cfg.uplink_coalesce_max;
+    opt.relay_layers = static_cast<uint32_t>(cfg.relay_layers);
+    opt.reshuffle_interval = cfg.reshuffle_interval;
+    if (cfg.scenario.topology == harness::Topology::kWanVaCaOr) {
+      // One relay group per region (§6.4), as the harness does for WAN.
+      opt.grouping = pigpaxos::GroupingStrategy::kRegion;
+      const size_t n = cfg.num_replicas;
+      opt.region_of = [n](NodeId node) {
+        return harness::WanRegionOfNode(node, n);
+      };
+    }
     for (NodeId i = 0; i < cfg.num_replicas; ++i) {
       cluster.AddReplica(
           i, std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
@@ -275,6 +293,11 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
   sim::ClusterOptions copt;
   copt.seed = seed;
   copt.network.drop_probability = cfg.drop_probability;
+  harness::ScenarioRuntime scenario_rt;
+  if (cfg.scripted()) {
+    scenario_rt = harness::PrepareScenario(cfg.scenario, cfg.num_replicas);
+    if (scenario_rt.latency) copt.network.latency = scenario_rt.latency;
+  }
   sim::Cluster cluster(copt);
   AddReplicas(cluster, cfg, /*inject_fault=*/false);
   std::vector<HistoryClient*> clients = AddClients(cluster, cfg);
@@ -284,57 +307,74 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
   cluster.RunFor(150 * kMillisecond);
 
   const size_t n = cfg.num_replicas;
-  const size_t max_down = (n - 1) / 2;  // a majority always stays up
-  Rng chaos(seed * 7919 + 0x5bd1e995);
-  std::vector<bool> down(n, false);
-  size_t num_down = 0;
-  for (int round = 0; round < cfg.chaos_rounds; ++round) {
-    const uint64_t dice = chaos.NextBounded(100);
-    if (dice < 30) {
-      if (num_down < max_down) {
-        NodeId victim = static_cast<NodeId>(chaos.NextBounded(n));
-        if (!down[victim]) {
-          cluster.Crash(victim);
-          down[victim] = true;
-          num_down++;
-        }
-      }
-    } else if (dice < 50) {
-      if (num_down > 0) {
-        NodeId pick = static_cast<NodeId>(chaos.NextBounded(n));
-        for (size_t step = 0; step < n; ++step) {
-          NodeId i = static_cast<NodeId>((pick + step) % n);
-          if (down[i]) {
-            cluster.Recover(i);
-            down[i] = false;
-            num_down--;
-            break;
+  if (cfg.scripted()) {
+    // Scripted scenario: the spec's fault events, offset by the settle
+    // phase, replace the randomized chaos rounds. HealScenario then
+    // undoes every scripted condition (crashes, partitions, links, gray
+    // slowdowns) so the common quiesce below starts clean.
+    harness::ScenarioSpec shifted = cfg.scenario;
+    const TimeNs base = cluster.Now();
+    TimeNs last = base;
+    for (harness::FaultEvent& e : shifted.schedule) {
+      e.at += base;
+      last = std::max(last, e.at);
+    }
+    harness::ScheduleScenario(shifted, scenario_rt, cluster);
+    cluster.RunUntil(last + cfg.scripted_tail);
+    harness::HealScenario(shifted, scenario_rt, cluster, n);
+  } else {
+    const size_t max_down = (n - 1) / 2;  // a majority always stays up
+    Rng chaos(seed * 7919 + 0x5bd1e995);
+    std::vector<bool> down(n, false);
+    size_t num_down = 0;
+    for (int round = 0; round < cfg.chaos_rounds; ++round) {
+      const uint64_t dice = chaos.NextBounded(100);
+      if (dice < 30) {
+        if (num_down < max_down) {
+          NodeId victim = static_cast<NodeId>(chaos.NextBounded(n));
+          if (!down[victim]) {
+            cluster.Crash(victim);
+            down[victim] = true;
+            num_down++;
           }
         }
-      }
-    } else if (dice < 65) {
-      for (NodeId i = 0; i < n; ++i) {
-        cluster.network().SetPartitionGroup(
-            i, static_cast<int>(chaos.NextBounded(2)));
-      }
-    } else if (dice < 75) {
-      cluster.network().HealPartitions();
-    } else if (dice < 85) {
-      NodeId who = static_cast<NodeId>(chaos.NextBounded(n));
-      if (!down[who]) {
-        static_cast<paxos::PaxosReplica*>(cluster.actor(who))
-            ->TriggerElection();
-      }
-    }  // else: a calm round
-    cluster.RunFor(cfg.round_length);
+      } else if (dice < 50) {
+        if (num_down > 0) {
+          NodeId pick = static_cast<NodeId>(chaos.NextBounded(n));
+          for (size_t step = 0; step < n; ++step) {
+            NodeId i = static_cast<NodeId>((pick + step) % n);
+            if (down[i]) {
+              cluster.Recover(i);
+              down[i] = false;
+              num_down--;
+              break;
+            }
+          }
+        }
+      } else if (dice < 65) {
+        for (NodeId i = 0; i < n; ++i) {
+          cluster.network().SetPartitionGroup(
+              i, static_cast<int>(chaos.NextBounded(2)));
+        }
+      } else if (dice < 75) {
+        cluster.network().HealPartitions();
+      } else if (dice < 85) {
+        NodeId who = static_cast<NodeId>(chaos.NextBounded(n));
+        if (!down[who]) {
+          static_cast<paxos::PaxosReplica*>(cluster.actor(who))
+              ->TriggerElection();
+        }
+      }  // else: a calm round
+      cluster.RunFor(cfg.round_length);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (down[i]) cluster.Recover(i);
+    }
   }
 
-  // Heal everything and quiesce: recover crashes, drop partitions and
-  // message loss, let traffic flow cleanly for a while, then stop the
-  // clients and drain so replicas converge with no in-flight tail.
-  for (NodeId i = 0; i < n; ++i) {
-    if (down[i]) cluster.Recover(i);
-  }
+  // Heal everything and quiesce: drop partitions and message loss, let
+  // traffic flow cleanly for a while, then stop the clients and drain so
+  // replicas converge with no in-flight tail.
   cluster.network().HealPartitions();
   cluster.network().set_drop_probability(0);
   cluster.RunFor(cfg.quiesce / 2);

@@ -25,12 +25,16 @@
 #include <string>
 
 #include "common/types.h"
+#include "harness/scenario.h"
 
 namespace pig::test {
 
 struct ConformanceConfig {
   std::string name;           ///< Diagnostics only.
   bool use_pig = true;
+  /// Ring-pipeline baseline (baselines/ring_replica.h); wins over
+  /// use_pig so the same chaos schedules validate both protocols.
+  bool use_ring = false;
   size_t num_replicas = 5;
   size_t num_clients = 4;
   size_t num_keys = 8;
@@ -44,6 +48,8 @@ struct ConformanceConfig {
   size_t relay_groups = 2;
   size_t group_overlap = 0;
   size_t uplink_coalesce_max = 1;
+  size_t relay_layers = 1;
+  TimeNs reshuffle_interval = 0;   ///< §4.1 dynamic regrouping.
 
   // Flexible quorums (0 = majority).
   size_t flexible_q1 = 0;
@@ -53,6 +59,18 @@ struct ConformanceConfig {
   int chaos_rounds = 6;
   TimeNs round_length = 350 * kMillisecond;
   TimeNs quiesce = 4 * kSecond;
+
+  /// Scripted scenario (harness/scenario.h). When the schedule is
+  /// non-empty it REPLACES the seeded random chaos: the named fault
+  /// events run at their absolute virtual times (offset by the 150 ms
+  /// settle phase), the topology/gray model applies, and after
+  /// `scripted_tail` past the last event everything is healed for the
+  /// usual quiesce + invariant check. Same seed + same spec =>
+  /// deterministic run.
+  harness::ScenarioSpec scenario;
+  TimeNs scripted_tail = 1 * kSecond;
+
+  bool scripted() const { return !scenario.schedule.empty(); }
 };
 
 struct ConformanceResult {

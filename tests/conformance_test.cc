@@ -50,6 +50,26 @@ std::vector<ConformanceConfig> BuildMatrix() {
   add("PigBatchOnly8Drop",      true,  8,   1,    2,  0,  1,  0, 0, 0.02);
   add("PigBatch4Drop5",         true,  4,   4,    3,  0,  1,  0, 0, 0.05);
   add("PigFlexQCoalesce2",      true,  4,   4,    2,  0,  2,  4, 2, 0.00);
+  // Ring-pipeline baseline (baselines/ring_replica.h): the same chaos
+  // schedules and invariants that validate PigPaxos validate the ring —
+  // including its broken-ring fallback path, which crashes exercise.
+  auto add_ring = [&](const char* name, size_t batch, size_t depth,
+                      size_t q1, size_t q2, double drop) {
+    ConformanceConfig c;
+    c.name = name;
+    c.use_pig = false;
+    c.use_ring = true;
+    c.batch_size = batch;
+    c.pipeline_depth = depth;
+    c.flexible_q1 = q1;
+    c.flexible_q2 = q2;
+    c.drop_probability = drop;
+    configs.push_back(c);
+  };
+  //       name                 batch depth q1 q2 drop
+  add_ring("RingBaseline",       1,   1,    0, 0, 0.00);
+  add_ring("RingBatch4Depth4",   4,   4,    0, 0, 0.00);
+  add_ring("RingFlexQDrop",      4,   4,    4, 2, 0.02);
   return configs;
 }
 

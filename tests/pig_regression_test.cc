@@ -225,6 +225,167 @@ TEST(PigRegressionTest, CoalescedEarlyBatchesCountOncePerUplink) {
 }
 
 // ---------------------------------------------------------------------------
+// Relay-ack watch deadline vs multi-layer trees + coalescing. A 2-layer
+// tree legitimately takes up to relay_timeout * (1 + sub_layers) to
+// aggregate, and with uplink coalescing every hop of the response path
+// (leaf -> sub-relay -> relay -> leader) may hold its uplink for
+// uplink_flush_delay. The historical fixed 2 * relay_timeout deadline is
+// shorter than that legitimate window, so the leader suspected *healthy*
+// relays and churned relay selection. The derived deadline
+// (relay_timeout * (layers + 1) + (layers + 1) * uplink_flush_delay)
+// must keep a fully healthy run suspicion-free.
+
+TEST(PigRegressionTest, DeepTreeCoalescingDoesNotSuspectHealthyRelays) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 3;
+  opt.relay_layers = 2;
+  opt.relay_timeout = 20 * kMillisecond;
+  opt.uplink_coalesce_max = 16;                // never filled at this load:
+  opt.uplink_flush_delay = 15 * kMillisecond;  // every hop holds 15 ms
+  Prober* prober = MakePigCluster(cluster, 25, opt);
+  cluster.Start();
+  cluster.RunFor(500 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 25), 0u);
+
+  // Light sequential load: each commit's response path pays the full
+  // leaf + sub-relay + relay flush-delay chain (~46 ms: leaves hold
+  // 15 ms, sub-relays complete and hold 15 ms, the top relay completes
+  // and holds 15 ms), past the old 2 * relay_timeout = 40 ms deadline.
+  for (int i = 0; i < 10; ++i) {
+    prober->Put(0, "k" + std::to_string(i), "v");
+    cluster.RunFor(200 * kMillisecond);
+  }
+  EXPECT_GE(prober->OkCount(), 10u);
+
+  uint64_t suspected = 0;
+  for (NodeId i = 0; i < 25; ++i) {
+    suspected += PigAt(cluster, i)->relay_metrics().relays_suspected;
+  }
+  EXPECT_EQ(suspected, 0u)
+      << "healthy relays suspected: the relay-ack watch deadline does not "
+         "cover the legitimate deep-tree + coalescing aggregation window";
+}
+
+// The derived deadline must reproduce the historical default exactly for
+// the paper's base configuration (single layer, no coalescing), and grow
+// with depth and coalescing slack.
+TEST(PigRegressionTest, DerivedRelayAckDeadlineMatchesShapeOfTree) {
+  PigPaxosOptions base;
+  base.relay_timeout = 50 * kMillisecond;
+  {
+    PigPaxosReplica flat(0, [&] {
+      PigPaxosOptions o = base;
+      o.paxos.num_replicas = 9;
+      return o;
+    }());
+    EXPECT_EQ(flat.DefaultRelayAckTimeout(), 2 * base.relay_timeout);
+  }
+  {
+    PigPaxosReplica deep(0, [&] {
+      PigPaxosOptions o = base;
+      o.paxos.num_replicas = 9;
+      o.relay_layers = 3;
+      return o;
+    }());
+    EXPECT_EQ(deep.DefaultRelayAckTimeout(), 4 * base.relay_timeout);
+  }
+  {
+    PigPaxosReplica coalescing(0, [&] {
+      PigPaxosOptions o = base;
+      o.paxos.num_replicas = 9;
+      o.relay_layers = 2;
+      o.uplink_coalesce_max = 4;
+      o.uplink_flush_delay = 10 * kMillisecond;
+      return o;
+    }());
+    EXPECT_EQ(coalescing.DefaultRelayAckTimeout(),
+              3 * base.relay_timeout + 3 * (10 * kMillisecond));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expired suspicion entries must be swept, not retained forever. Node 4
+// is crashed for good: once suspected, the leader's relay picks for its
+// group settle on node 3, rounds complete, and nothing ever touches 4's
+// entry again — so only the RelayWatchTick sweep can remove it after it
+// expires. (Seeded simulation: the trace is deterministic.)
+
+TEST(PigRegressionTest, ExpiredSuspicionEntriesArePruned) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 2;              // contiguous: {1,2} and {3,4}
+  opt.relay_timeout = 10 * kMillisecond;
+  opt.relay_ack_timeout = 60 * kMillisecond;
+  opt.suspicion_duration = 150 * kMillisecond;
+  opt.paxos.heartbeat_interval = 10 * kSecond;    // silence background
+  opt.paxos.election_timeout_min = 20 * kSecond;  // traffic entirely
+  opt.paxos.election_timeout_max = 30 * kSecond;
+  Prober* prober = MakePigCluster(cluster, 5, opt);
+  cluster.Start();
+  cluster.RunFor(100 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 5), 0u);
+  const auto* leader = PigAt(cluster, 0);
+
+  cluster.Crash(4);
+  // Issue puts until an unlucky relay pick lands on 4 and the watch
+  // suspects it (quorum 0+1+2 keeps committing regardless).
+  uint64_t seq = 0;
+  for (int i = 0; i < 50 && leader->suspected_entries() == 0; ++i) {
+    seq = prober->Put(0, "k", "v" + std::to_string(i));
+    cluster.RunFor(30 * kMillisecond);
+  }
+  ASSERT_EQ(leader->suspected_entries(), 1u);
+  ASSERT_GE(leader->relay_metrics().relays_suspected, 1u);
+  EXPECT_NE(prober->FindReply(seq), nullptr);
+
+  // While 4 is suspected every {3,4} round goes to 3 and completes; its
+  // watch deadline still ticks 60 ms later, and the first tick after the
+  // 150 ms expiry must sweep the stale entry.
+  for (int i = 0; i < 10; ++i) {
+    prober->Put(0, "k", "w" + std::to_string(i));
+    cluster.RunFor(40 * kMillisecond);
+  }
+  cluster.RunFor(300 * kMillisecond);  // all pending watch ticks fire
+  EXPECT_EQ(leader->suspected_entries(), 0u)
+      << "expired suspicion entries are never pruned";
+}
+
+// ---------------------------------------------------------------------------
+// The dynamic-regrouping timer is leader work: it must be armed on
+// leadership acquisition and canceled on step-down, not tick uselessly
+// on every follower for the whole run.
+
+TEST(PigRegressionTest, ReshuffleTimerRunsOnlyOnTheLeader) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 2;
+  opt.reshuffle_interval = 50 * kMillisecond;
+  MakePigCluster(cluster, 5, opt);
+  cluster.Start();
+  cluster.RunFor(400 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 5), 0u);
+
+  EXPECT_TRUE(PigAt(cluster, 0)->reshuffle_timer_armed());
+  EXPECT_GT(PigAt(cluster, 0)->relay_metrics().reshuffles, 0u);
+  for (NodeId i = 1; i < 5; ++i) {
+    EXPECT_FALSE(PigAt(cluster, i)->reshuffle_timer_armed())
+        << "follower " << i << " keeps a reshuffle timer armed";
+    EXPECT_EQ(PigAt(cluster, i)->relay_metrics().reshuffles, 0u);
+  }
+
+  // Leadership moves: the old leader cancels, the new one arms.
+  auto* challenger =
+      static_cast<PigPaxosReplica*>(cluster.actor(1));
+  challenger->TriggerElection();
+  cluster.RunFor(400 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 5), 1u);
+  EXPECT_FALSE(PigAt(cluster, 0)->reshuffle_timer_armed());
+  EXPECT_TRUE(PigAt(cluster, 1)->reshuffle_timer_armed());
+  EXPECT_GT(PigAt(cluster, 1)->relay_metrics().reshuffles, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Overlapping groups deliver some followers' responses twice; the
 // leader's VoteTally must count each follower once.
 

@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "baselines/ring_replica.h"
 #include "common/rng.h"
 #include "consensus/client_messages.h"
 #include "statemachine/batch.h"
@@ -24,6 +25,7 @@ class WireTest : public ::testing::Test {
     paxos::RegisterPaxosMessages();
     pigpaxos::RegisterPigPaxosMessages();
     epaxos::RegisterEPaxosMessages();
+    baselines::RegisterRingMessages();
   }
 
   /// Encodes, decodes, re-encodes and requires byte-identical output.
@@ -542,6 +544,16 @@ std::map<MsgType, MessagePtr> ExemplarMessages() {
   bundle->sender = 3;
   bundle->responses.push_back(out.at(MsgType::kRelayResponse));
   add(bundle);
+
+  auto ring = std::make_shared<baselines::RingPass>();
+  ring->ring_id = 0xfeedbeef;
+  ring->origin = 1;
+  ring->expects_response = true;
+  ring->hops = {4, 5, 6};
+  ring->inner = out.at(MsgType::kP2a);
+  ring->votes.push_back(out.at(MsgType::kP2b));
+  ring->votes.push_back(out.at(MsgType::kP1b));
+  add(ring);
 
   auto pre = std::make_shared<epaxos::PreAccept>();
   pre->ballot = Ballot(1, 4);
