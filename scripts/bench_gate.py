@@ -11,6 +11,12 @@ BENCH_<n>.json, and fails if any pinned benchmark's throughput
 (items/second, median over repetitions) regresses more than --threshold
 relative to the checked-in baseline.
 
+bench_tcp_loopback (fig8-shaped 9-node cluster over real loopback
+sockets) is gated on completion instead: its committed_ops counter must
+stay >= the baseline value with no tolerance, while its wall time is
+recorded but never fails the gate (loopback latency on shared runners is
+noise; a lost command is not).
+
 Typical use:
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build-release -j
@@ -69,8 +75,22 @@ PINNED_BY_BINARY = {
         "BM_ScenarioSweepSmoke",
         "BM_RingFig8",
     ],
+    # TCP runtime (PR 6): fig8-shaped 9-node PigPaxos cluster over real
+    # loopback sockets. Completion-gated (see COMPLETION_COUNTERS), not
+    # latency-gated: wall time over the kernel's loopback stack is too
+    # noisy on shared runners, but every command committing is binary.
+    "bench_tcp_loopback": [
+        "BM_TcpFig8Shape/iterations:1/real_time",
+    ],
 }
 PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]
+
+# Benchmarks gated on a completion counter instead of throughput: the
+# named counter must stay >= its baseline value (items/second is recorded
+# for reference but never fails the gate for these).
+COMPLETION_COUNTERS = {
+    "BM_TcpFig8Shape/iterations:1/real_time": "committed_ops",
+}
 
 # Cross-benchmark ratio floors, checked within the same run (independent
 # of the baseline): numerator / denominator must stay >= floor. Guards
@@ -122,6 +142,9 @@ def run_one_binary(binary, names, repetitions):
             "real_time": bench.get("real_time", 0.0),
             "time_unit": bench.get("time_unit", "ns"),
         }
+        counter = COMPLETION_COUNTERS.get(name)
+        if counter is not None:
+            medians[name][counter] = bench.get(counter, 0.0)
     return medians, report.get("context", {})
 
 
@@ -178,14 +201,27 @@ def main():
         entry = {"items_per_second": medians[name]["items_per_second"],
                  "real_time": medians[name]["real_time"],
                  "time_unit": medians[name]["time_unit"]}
+        counter = COMPLETION_COUNTERS.get(name)
+        if counter is not None:
+            entry[counter] = medians[name][counter]
         if baseline:
             if name in baseline.get("benchmarks", {}):
-                base_ips = baseline["benchmarks"][name]["items_per_second"]
-                entry["baseline_items_per_second"] = base_ips
-                entry["ratio"] = (entry["items_per_second"] / base_ips
-                                  if base_ips > 0 else float("inf"))
-                if entry["ratio"] < 1.0 - args.threshold:
-                    regressions.append(name)
+                base = baseline["benchmarks"][name]
+                if counter is not None:
+                    # Completion gate: the run must finish at least as
+                    # much work as the baseline run did, full stop. No
+                    # tolerance — a lost or duplicated command is a bug,
+                    # not noise.
+                    entry["baseline_%s" % counter] = base[counter]
+                    if entry[counter] < base[counter]:
+                        regressions.append(name)
+                else:
+                    base_ips = base["items_per_second"]
+                    entry["baseline_items_per_second"] = base_ips
+                    entry["ratio"] = (entry["items_per_second"] / base_ips
+                                      if base_ips > 0 else float("inf"))
+                    if entry["ratio"] < 1.0 - args.threshold:
+                        regressions.append(name)
             else:
                 # A pinned bench absent from the baseline would otherwise
                 # be exempt from the gate forever — that is a failure,
@@ -227,6 +263,14 @@ def main():
 
     for name in PINNED:
         entry = comparisons[name]
+        counter = COMPLETION_COUNTERS.get(name)
+        if counter is not None:
+            base = entry.get("baseline_%s" % counter)
+            print("  %-32s %12.3g %s   %s" % (
+                name, entry[counter], counter,
+                "(baseline %g)" % base if base is not None else
+                "(no baseline)"))
+            continue
         ratio = entry.get("ratio")
         print("  %-32s %12.3g items/s   %s" % (
             name, entry["items_per_second"],
@@ -235,10 +279,14 @@ def main():
 
     if args.update_baseline:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        def baseline_row(name):
+            counter = COMPLETION_COUNTERS.get(name)
+            if counter is not None:
+                return {counter: medians[name][counter]}
+            return {"items_per_second": medians[name]["items_per_second"]}
+
         with open(args.baseline, "w") as f:
-            json.dump({"benchmarks": {n: {"items_per_second":
-                                          medians[n]["items_per_second"]}
-                                      for n in PINNED},
+            json.dump({"benchmarks": {n: baseline_row(n) for n in PINNED},
                        "host": result["host"]},
                       f, indent=2, sort_keys=True)
             f.write("\n")

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Launches a real multi-process PigPaxos cluster on loopback TCP and
+# drives a client workload through it — the acceptance run for the TCP
+# runtime: N pig_node processes, one per replica, plus a blocking client
+# process; every command must commit exactly once.
+#
+# Usage: scripts/run_tcp_cluster.sh [options]
+#   --build-dir DIR    build dir containing pig_node (default: build)
+#   --nodes N          replica count (default: 9, the fig8 shape)
+#   --ops N            client commands (default: 200)
+#   --base-port P      first listen port (default: 42100)
+#   --protocol NAME    paxos | pigpaxos | epaxos (default: pigpaxos)
+#   --relay-groups N   PigPaxos relay groups (default: 3)
+#   --kill-relay       kill -9 one relay mid-run and restart it two
+#                      seconds later; the workload must still commit
+#                      every command
+#
+# Exits 0 iff the client commits all --ops commands and the read-back
+# verifies; replica logs land in a temp dir printed on failure.
+set -euo pipefail
+
+BUILD_DIR=build
+NODES=9
+OPS=200
+BASE_PORT=42100
+PROTOCOL=pigpaxos
+RELAY_GROUPS=3
+KILL_RELAY=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --nodes) NODES="$2"; shift 2 ;;
+    --ops) OPS="$2"; shift 2 ;;
+    --base-port) BASE_PORT="$2"; shift 2 ;;
+    --protocol) PROTOCOL="$2"; shift 2 ;;
+    --relay-groups) RELAY_GROUPS="$2"; shift 2 ;;
+    --kill-relay) KILL_RELAY=1; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+PIG_NODE="${BUILD_DIR}/pig_node"
+if [[ ! -x "${PIG_NODE}" ]]; then
+  echo "error: ${PIG_NODE} not found; build it first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j --target pig_node" >&2
+  exit 1
+fi
+
+PEERS=""
+for ((i = 0; i < NODES; i++)); do
+  PEERS+="${PEERS:+,}127.0.0.1:$((BASE_PORT + i))"
+done
+
+LOG_DIR="$(mktemp -d /tmp/pig_tcp_cluster.XXXXXX)"
+declare -a PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+launch_node() {
+  local id="$1"
+  "${PIG_NODE}" --node-id="${id}" --peers="${PEERS}" \
+      --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
+      > "${LOG_DIR}/node${id}.log" 2>&1 &
+  PIDS[id]=$!
+}
+
+echo "Starting ${NODES}-node ${PROTOCOL} cluster on ports ${BASE_PORT}-$((BASE_PORT + NODES - 1))"
+for ((i = 0; i < NODES; i++)); do
+  launch_node "${i}"
+done
+
+CLIENT_EXTRA=()
+if [[ "${KILL_RELAY}" -eq 1 ]]; then
+  # Node 1 is a relay-group member, never the bootstrap leader. Kill it
+  # hard mid-workload and bring a fresh process back on the same port;
+  # the client must not lose a single command either way. The client is
+  # slowed (--op-delay-ms) so the workload is guaranteed to straddle
+  # both the kill and the restart.
+  CLIENT_EXTRA=(--op-delay-ms=15)
+  (
+    sleep 1
+    echo "killing node 1 (pid ${PIDS[1]})"
+    kill -9 "${PIDS[1]}" 2>/dev/null || true
+    sleep 2
+    echo "restarting node 1"
+    "${PIG_NODE}" --node-id=1 --peers="${PEERS}" \
+        --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
+        > "${LOG_DIR}/node1.restart.log" 2>&1 &
+    echo "$!" > "${LOG_DIR}/node1.restart.pid"
+  ) &
+  PIDS+=($!)
+fi
+
+sleep 0.3  # let the replicas bind before the client dials
+echo "Running client: ${OPS} ops"
+set +e
+CLIENT_OUT="$("${PIG_NODE}" --client --peers="${PEERS}" \
+    --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
+    --ops="${OPS}" "${CLIENT_EXTRA[@]}" 2>&1)"
+CLIENT_RC=$?
+set -e
+echo "${CLIENT_OUT}"
+
+if [[ -f "${LOG_DIR}/node1.restart.pid" ]]; then
+  PIDS+=("$(cat "${LOG_DIR}/node1.restart.pid")")
+fi
+
+if [[ "${CLIENT_RC}" -ne 0 ]] || \
+   ! grep -q "committed=${OPS} failed=0" <<< "${CLIENT_OUT}"; then
+  echo "FAIL: client rc=${CLIENT_RC}; replica logs in ${LOG_DIR}" >&2
+  exit 1
+fi
+
+echo "PASS: ${OPS}/${OPS} commands committed over ${NODES}-process TCP cluster"
+rm -rf "${LOG_DIR}"
+exit 0

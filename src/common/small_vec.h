@@ -1,0 +1,204 @@
+// Inline-capacity dynamic array for hot-path message fields.
+//
+// The relay fan-in/fan-out envelopes carry short lists — a relay group's
+// members, the handful of aggregated votes — whose length is bounded by
+// the group size in every realistic topology. std::vector heap-allocates
+// for them on every message; SmallVec keeps up to N elements in the
+// object itself and only spills to the heap beyond that, so building or
+// decoding an envelope allocates nothing (tests/message_alloc_test.cc
+// pins this). API is the std::vector subset the codec and replicas use.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace pig {
+
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec& operator=(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+    return *this;
+  }
+
+  SmallVec(const SmallVec& other) { CopyFrom(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      Deallocate();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { Deallocate(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  /// Destroys the elements but keeps the storage (inline or heap), so a
+  /// reused message's next fill round allocates nothing.
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Value-initializes on growth (decode paths resize then fill).
+  void resize(size_t n) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T();
+      }
+    }
+    size_ = n;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool is_inline() const { return data_ == InlinePtr(); }
+
+  T* InlinePtr() {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  const T* InlinePtr() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void Grow(size_t min_capacity) {
+    size_t cap = capacity_ * 2;
+    if (cap < min_capacity) cap = min_capacity;
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) ::operator delete(static_cast<void*>(data_));
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  void CopyFrom(const SmallVec& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other.data_[i]);
+  }
+
+  /// Steals the heap block when spilled; element-moves when inline.
+  /// Leaves `other` empty with inline storage either way.
+  void MoveFrom(SmallVec&& other) {
+    if (other.is_inline()) {
+      data_ = InlinePtr();
+      capacity_ = N;
+      size_ = 0;
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlinePtr();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  /// Destroys elements and releases any heap block, resetting to inline.
+  void Deallocate() {
+    clear();
+    if (!is_inline()) {
+      ::operator delete(static_cast<void*>(data_));
+      data_ = InlinePtr();
+      capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlinePtr();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace pig

@@ -3,11 +3,15 @@
 // Protocol replicas and clients are deterministic event-driven state
 // machines (Actor). They interact with the outside world only through Env:
 // sending messages, setting timers, reading the clock, and drawing random
-// numbers. Two drivers implement Env:
+// numbers. Three drivers implement Env:
 //   * sim::Cluster  — discrete-event simulation in virtual time (benches,
-//                     property tests; fully deterministic per seed), and
-//   * runtime::ThreadCluster — real threads and wall-clock time
-//                     (integration tests, examples).
+//                     property tests; fully deterministic per seed);
+//   * runtime::ThreadCluster — real threads and wall-clock time over
+//                     in-process mailboxes (integration tests, examples);
+//   * runtime::TcpCluster — real sockets via epoll event loops, nodes
+//                     optionally in separate processes (pig_node).
+// The two wall-clock drivers share runtime::EventLoop and differ only in
+// their runtime::Transport.
 #pragma once
 
 #include <cstdint>

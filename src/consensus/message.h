@@ -55,6 +55,9 @@ enum class MsgType : uint8_t {
   kQuorumReadReply = 41,
   // Ring-pipeline baseline (baselines/ring_replica.h)
   kRingPass = 50,
+  // Transport-level handshake (net/frame.h); consumed by the TCP runtime,
+  // never dispatched to actors.
+  kNodeHello = 60,
 };
 
 /// Base class for every message exchanged between actors.

@@ -1,0 +1,77 @@
+// Runtime-agnostic driver facade for in-process clusters.
+//
+// The thread runtime (runtime/thread_cluster.h) and the TCP runtime
+// (runtime/tcp_cluster.h) expose the same lifecycle but are unrelated
+// types; LocalCluster wraps either behind one surface so a test or bench
+// can run the identical workload and fault schedule on both and compare
+// outcomes — the cross-runtime equivalence tests do exactly that. The
+// simulator is deliberately not behind this facade: it owns virtual time
+// and runs single-threaded, so a blocking SyncClient cannot drive it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "runtime/tcp_cluster.h"
+#include "runtime/thread_cluster.h"
+
+namespace pig::harness {
+
+using pig::Actor;
+using pig::NodeId;
+using pig::TimeNs;
+
+enum class LocalRuntime {
+  kThreads,  ///< In-process mailboxes, one thread per actor.
+  kTcp,      ///< Real loopback sockets, one epoll thread per actor.
+};
+
+inline const char* ToString(LocalRuntime rt) {
+  return rt == LocalRuntime::kThreads ? "threads" : "tcp";
+}
+
+class LocalCluster {
+ public:
+  explicit LocalCluster(LocalRuntime runtime, uint64_t seed = 1) {
+    if (runtime == LocalRuntime::kThreads) {
+      threads_ = std::make_unique<runtime::ThreadCluster>(seed);
+    } else {
+      tcp_ = std::make_unique<runtime::TcpCluster>(seed);
+    }
+  }
+
+  void AddActor(NodeId id, std::unique_ptr<Actor> actor) {
+    if (threads_) {
+      threads_->AddActor(id, std::move(actor));
+    } else {
+      tcp_->AddActor(id, std::move(actor));  // ephemeral loopback port
+    }
+  }
+
+  void Start() { threads_ ? threads_->Start() : tcp_->Start(); }
+  void Stop() { threads_ ? threads_->Stop() : tcp_->Stop(); }
+
+  void StopNode(NodeId id) {
+    threads_ ? threads_->StopNode(id) : tcp_->StopNode(id);
+  }
+
+  void RestartNode(NodeId id, std::unique_ptr<Actor> actor) {
+    if (threads_) {
+      threads_->RestartNode(id, std::move(actor));
+    } else {
+      tcp_->RestartNode(id, std::move(actor));
+    }
+  }
+
+  Actor* actor(NodeId id) {
+    return threads_ ? threads_->actor(id) : tcp_->actor(id);
+  }
+
+  TimeNs Now() const { return threads_ ? threads_->Now() : tcp_->Now(); }
+
+ private:
+  std::unique_ptr<runtime::ThreadCluster> threads_;
+  std::unique_ptr<runtime::TcpCluster> tcp_;
+};
+
+}  // namespace pig::harness

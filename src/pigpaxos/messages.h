@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "consensus/message.h"
 
 namespace pig::pigpaxos {
@@ -20,6 +21,11 @@ using pig::MessagePtr;
 using pig::MsgType;
 using pig::NodeId;
 using pig::Status;
+
+/// Inline capacity for relay-envelope lists: covers a relay group of
+/// nine members (the paper's 25-node / 3-group topology) without heap
+/// traffic; larger groups spill gracefully.
+inline constexpr size_t kRelayInlineCapacity = 8;
 
 /// Leader -> relay -> member fan-out envelope.
 struct RelayRequest final : Message {
@@ -35,8 +41,10 @@ struct RelayRequest final : Message {
 
   /// Nodes this relay must forward to (empty for leaf members). Shipping
   /// membership in the message enables per-round dynamic regrouping
-  /// (paper §4.1).
-  std::vector<NodeId> members;
+  /// (paper §4.1). Inline storage: building or decoding an envelope for
+  /// a normal-sized group never touches the heap.
+  using MemberVec = SmallVec<NodeId, kRelayInlineCapacity>;
+  MemberVec members;
 
   /// Remaining relay layers below this node (§6.3 multi-layer trees).
   /// 0 = forward directly to members.
@@ -64,7 +72,10 @@ struct RelayResponse final : Message {
   bool final_batch = true;
 
   /// Aggregated follower responses (P1b/P2b), piggybacked together.
-  std::vector<MessagePtr> responses;
+  /// Inline storage kills the last per-message vector allocation on the
+  /// fan-in path.
+  using ResponseVec = SmallVec<MessagePtr, kRelayInlineCapacity>;
+  ResponseVec responses;
 
   MsgType type() const override { return MsgType::kRelayResponse; }
   void EncodeBody(Encoder& enc) const override;

@@ -333,7 +333,7 @@ void PigPaxosReplica::HandleRelayRequest(NodeId from,
 }
 
 void PigPaxosReplica::ForwardToMembers(const RelayRequest& req,
-                                       const std::vector<NodeId>& members) {
+                                       std::span<const NodeId> members) {
   if (req.sub_layers > 0 && members.size() > req.sub_groups &&
       req.sub_groups > 1) {
     // Multi-layer tree (§6.3): split members into subgroups, pick a

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -147,7 +148,9 @@ class PigPaxosReplica : public PaxosReplica {
     size_t expected = 0;        ///< Responses still owed by the subtree.
     size_t threshold = 0;       ///< Early-batch trigger (0 = disabled).
     bool first_sent = false;
-    std::vector<MessagePtr> buffer;
+    // Same inline-capacity type as RelayResponse::responses, so the
+    // collected batch moves into the outgoing envelope without copying.
+    RelayResponse::ResponseVec buffer;
     size_t collected = 0;       ///< Total responses seen (sent + buffered).
     TimerId timer = kInvalidTimer;
   };
@@ -157,7 +160,7 @@ class PigPaxosReplica : public PaxosReplica {
   void HandleRelayResponse(NodeId from, const RelayResponse& resp);
   void HandleRelayBundle(NodeId from, const RelayBundle& bundle);
   void ForwardToMembers(const RelayRequest& req,
-                        const std::vector<NodeId>& members);
+                        std::span<const NodeId> members);
   void AddResponse(Aggregation& agg, uint64_t relay_id, MessagePtr resp);
   void FlushAggregation(uint64_t relay_id, Aggregation& agg,
                         bool final_batch);

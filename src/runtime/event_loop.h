@@ -1,0 +1,133 @@
+// Transport-agnostic single-actor event loop.
+//
+// EventLoop owns everything that used to be private to ThreadCluster's
+// per-node state: the inbound mailbox of encoded frames, the recycled
+// wire-buffer pool, the timer table, the per-actor Env and rng, and the
+// decode->OnMessage dispatch step. Transports differ only in how bytes
+// reach the loop:
+//   * ThreadCluster pushes encoded buffers into the mailbox from sender
+//     threads (Deliver) and drives the loop with the blocking Run();
+//   * TcpCluster decodes straight off its sockets on the loop thread
+//     (DispatchWire) and interleaves FireDueTimers/DispatchQueuedMail
+//     with epoll_wait, using NextTimerDeadline for its poll timeout.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/env.h"
+#include "runtime/transport.h"
+
+namespace pig::runtime {
+
+using pig::Actor;
+using pig::TimerId;
+
+/// Monotonic wall clock shared by every loop in a cluster, so TimeNs 0 is
+/// cluster start for all of them (mirrors the simulator's virtual epoch).
+class WallClock {
+ public:
+  WallClock();
+
+  /// Re-anchors TimeNs 0 at the present; clusters call this in Start().
+  void Reset();
+
+  TimeNs Now() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+class EventLoop {
+ public:
+  /// The loop owns `actor` and binds it to an internal Env whose Send
+  /// forwards to `transport`. `clock` and `transport` are borrowed and
+  /// must outlive the loop.
+  EventLoop(NodeId id, std::unique_ptr<Actor> actor, Transport* transport,
+            const WallClock* clock, uint64_t seed);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  NodeId id() const { return id_; }
+  Actor* actor() { return actor_.get(); }
+  TimeNs Now() const;
+
+  // --- enqueue edges (callable from any thread) ----------------------------
+
+  /// Queues an encoded message for dispatch on the loop thread and wakes a
+  /// blocked WaitForWork.
+  void Deliver(NodeId from, std::vector<uint8_t> wire);
+
+  /// Pulls a drained buffer from this loop's recycle pool (empty vector if
+  /// none): senders encode into it, then hand it back via Deliver, so the
+  /// steady-state encode->decode round trip reuses capacity.
+  std::vector<uint8_t> AcquireWireBuffer();
+
+  /// Wakes a blocked WaitForWork/Run (used for shutdown).
+  void Wake();
+
+  // --- loop-thread driving -------------------------------------------------
+
+  /// Calls Actor::OnStart. Must be the loop thread's first act.
+  void StartActor();
+
+  /// Fires every timer whose deadline has passed. Returns true if any
+  /// fired (callbacks may enqueue more work, so callers re-check).
+  bool FireDueTimers();
+
+  /// Decodes and dispatches one queued mailbox entry; returns false when
+  /// the mailbox is empty.
+  bool DispatchQueuedMail();
+
+  /// Decodes `size` bytes at `data` and dispatches immediately, bypassing
+  /// the mailbox (socket transports already hold the bytes in a
+  /// connection buffer; copying them into Mail would be waste).
+  void DispatchWire(NodeId from, const uint8_t* data, size_t size);
+
+  /// Earliest pending timer deadline, or -1 when no timer is armed.
+  TimeNs NextTimerDeadline() const;
+
+  /// Blocks until mail arrives, the earliest timer is due, or `max_wait`
+  /// elapses — whichever comes first. In-process driver only; socket
+  /// drivers block in epoll instead.
+  void WaitForWork(TimeNs max_wait);
+
+  /// Full fire-timers / dispatch / sleep cycle (including StartActor)
+  /// until `alive` clears. ThreadCluster runs this as the node thread.
+  void Run(const std::atomic<bool>& alive);
+
+ private:
+  class LoopEnv;
+  struct Mail {
+    NodeId from;
+    std::vector<uint8_t> wire;
+  };
+  static constexpr size_t kMaxPooledWireBuffers = 64;
+
+  const NodeId id_;
+  std::unique_ptr<Actor> actor_;
+  Transport* transport_;
+  const WallClock* clock_;
+  std::unique_ptr<LoopEnv> env_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Mail> mailbox_;
+  std::vector<std::vector<uint8_t>> wire_pool_;
+  // timer id -> (deadline, callback)
+  std::map<TimerId, std::pair<TimeNs, std::function<void()>>> timers_;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace pig::runtime

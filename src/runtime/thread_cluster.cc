@@ -8,92 +8,17 @@
 
 namespace pig::runtime {
 
-using std::chrono::steady_clock;
-
-struct ThreadCluster::Node {
-  NodeId id = kInvalidNode;
-  std::unique_ptr<Actor> actor;
-  std::unique_ptr<NodeEnv> env;
-  std::thread thread;
-
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Mail> mailbox;
-  // Drained wire buffers recycled to senders (guarded by mu): at steady
-  // state the encode->decode round trip reuses their capacity instead of
-  // allocating a fresh buffer per message.
-  std::vector<std::vector<uint8_t>> wire_pool;
-  static constexpr size_t kMaxPooledWireBuffers = 64;
-  // timer id -> (deadline, callback)
-  std::map<TimerId, std::pair<TimeNs, std::function<void()>>> timers;
-  TimerId next_timer_id = 1;
-  ThreadCluster* cluster = nullptr;
-};
-
-class ThreadCluster::NodeEnv final : public Env {
- public:
-  NodeEnv(ThreadCluster* cluster, Node* node, Rng rng)
-      : cluster_(cluster), node_(node), rng_(rng) {}
-
-  NodeId self() const override { return node_->id; }
-  TimeNs Now() const override { return cluster_->Now(); }
-
-  void Send(NodeId to, MessagePtr msg) override {
-    Node* dest = cluster_->FindNode(to);
-    if (dest == nullptr) return;
-    Mail mail{node_->id, {}};
-    {
-      std::lock_guard<std::mutex> lock(dest->mu);
-      if (!dest->wire_pool.empty()) {
-        mail.wire = std::move(dest->wire_pool.back());
-        dest->wire_pool.pop_back();
-      }
-    }
-    // Encode outside the lock; a recycled buffer keeps its capacity.
-    EncodeMessageTo(*msg, &mail.wire);
-    {
-      std::lock_guard<std::mutex> lock(dest->mu);
-      dest->mailbox.push_back(std::move(mail));
-    }
-    dest->cv.notify_one();
-  }
-
-  TimerId SetTimer(TimeNs delay, std::function<void()> cb) override {
-    std::lock_guard<std::mutex> lock(node_->mu);
-    TimerId id = node_->next_timer_id++;
-    node_->timers.emplace(id,
-                          std::make_pair(Now() + delay, std::move(cb)));
-    node_->cv.notify_one();
-    return id;
-  }
-
-  void CancelTimer(TimerId id) override {
-    std::lock_guard<std::mutex> lock(node_->mu);
-    node_->timers.erase(id);
-  }
-
-  Rng& rng() override { return rng_; }
-
- private:
-  ThreadCluster* cluster_;
-  Node* node_;
-  Rng rng_;
-};
-
-ThreadCluster::ThreadCluster(uint64_t seed)
-    : seed_(seed), epoch_(steady_clock::now()) {}
+ThreadCluster::ThreadCluster(uint64_t seed) : seed_(seed) {}
 
 ThreadCluster::~ThreadCluster() { Stop(); }
 
 void ThreadCluster::AddActor(NodeId id, std::unique_ptr<Actor> actor) {
   assert(!running_.load());
+  std::unique_lock<std::shared_mutex> topo(topo_mu_);
+  Transport* transport = this;  // private base: convert inside the class
   auto node = std::make_unique<Node>();
-  node->id = id;
-  node->actor = std::move(actor);
-  node->cluster = this;
-  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (id + 1)));
-  node->env = std::make_unique<NodeEnv>(this, node.get(), rng);
-  node->actor->Bind(node->env.get());
+  node->loop = std::make_unique<EventLoop>(id, std::move(actor), transport,
+                                           &clock_, seed_);
   order_.push_back(id);
   nodes_.emplace(id, std::move(node));
 }
@@ -104,91 +29,82 @@ ThreadCluster::Node* ThreadCluster::FindNode(NodeId id) {
 }
 
 Actor* ThreadCluster::actor(NodeId id) {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
   Node* node = FindNode(id);
-  return node == nullptr ? nullptr : node->actor.get();
+  return node == nullptr ? nullptr : node->loop->actor();
 }
 
-TimeNs ThreadCluster::Now() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             steady_clock::now() - epoch_)
-      .count();
+TimeNs ThreadCluster::Now() const { return clock_.Now(); }
+
+void ThreadCluster::Send(NodeId from, NodeId to, MessagePtr msg) {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  Node* dest = FindNode(to);
+  if (dest == nullptr || !dest->alive.load(std::memory_order_acquire)) {
+    return;  // fail-silent: unknown or stopped node
+  }
+  // Encode into a buffer recycled from the destination's loop; at steady
+  // state the encode->decode round trip reuses its capacity.
+  std::vector<uint8_t> wire = dest->loop->AcquireWireBuffer();
+  EncodeMessageTo(*msg, &wire);
+  dest->loop->Deliver(from, std::move(wire));
+}
+
+void ThreadCluster::LaunchNode(Node* node) {
+  node->alive.store(true, std::memory_order_release);
+  EventLoop* loop = node->loop.get();
+  std::atomic<bool>* alive = &node->alive;
+  node->thread = std::thread([loop, alive]() { loop->Run(*alive); });
 }
 
 void ThreadCluster::Start() {
   assert(!running_.load());
-  epoch_ = steady_clock::now();
+  clock_.Reset();
   running_.store(true);
   for (NodeId id : order_) {
-    Node* node = nodes_[id].get();
-    node->thread = std::thread([this, node]() { ThreadMain(node); });
+    LaunchNode(nodes_[id].get());
   }
 }
 
 void ThreadCluster::Stop() {
   if (!running_.exchange(false)) return;
-  for (auto& [_, node] : nodes_) node->cv.notify_all();
+  for (auto& [_, node] : nodes_) {
+    node->alive.store(false, std::memory_order_release);
+    node->loop->Wake();
+  }
   for (auto& [_, node] : nodes_) {
     if (node->thread.joinable()) node->thread.join();
   }
 }
 
-void ThreadCluster::ThreadMain(Node* node) {
-  node->actor->OnStart();
-  std::unique_lock<std::mutex> lock(node->mu);
-  while (running_.load()) {
-    // Fire due timers.
-    const TimeNs now = Now();
-    bool fired = false;
-    for (auto it = node->timers.begin(); it != node->timers.end();) {
-      if (it->second.first <= now) {
-        auto cb = std::move(it->second.second);
-        it = node->timers.erase(it);
-        lock.unlock();
-        cb();
-        lock.lock();
-        fired = true;
-        // Restart scan: the callback may have mutated the timer map.
-        it = node->timers.begin();
-      } else {
-        ++it;
-      }
-    }
-    if (fired) continue;
-
-    if (!node->mailbox.empty()) {
-      Mail mail = std::move(node->mailbox.front());
-      node->mailbox.pop_front();
-      lock.unlock();
-      MessagePtr msg;
-      Status s = DecodeMessage(mail.wire, &msg);
-      if (s.ok()) {
-        node->actor->OnMessage(mail.from, msg);
-      } else {
-        PIG_LOG(kError) << "node " << node->id
-                        << ": decode failed: " << s.ToString();
-      }
-      lock.lock();
-      // Hand the drained buffer back to future senders.
-      if (node->wire_pool.size() < Node::kMaxPooledWireBuffers) {
-        node->wire_pool.push_back(std::move(mail.wire));
-      }
-      continue;
-    }
-
-    // Sleep until the next timer or new mail.
-    TimeNs next = -1;
-    for (const auto& [_, t] : node->timers) {
-      if (next < 0 || t.first < next) next = t.first;
-    }
-    if (next < 0) {
-      node->cv.wait_for(lock, std::chrono::milliseconds(50));
-    } else {
-      const TimeNs wait = next - Now();
-      if (wait > 0) {
-        node->cv.wait_for(lock, std::chrono::nanoseconds(wait));
-      }
-    }
+void ThreadCluster::StopNode(NodeId id) {
+  Node* node = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    node = FindNode(id);
   }
+  if (node == nullptr) return;
+  node->alive.store(false, std::memory_order_release);
+  node->loop->Wake();
+  if (node->thread.joinable()) node->thread.join();
+}
+
+void ThreadCluster::RestartNode(NodeId id, std::unique_ptr<Actor> actor) {
+  Node* node = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    node = FindNode(id);
+  }
+  if (node == nullptr) return;
+  assert(!node->alive.load());
+  if (node->thread.joinable()) node->thread.join();
+  {
+    // Exclusive: senders must not observe the loop mid-swap.
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    Transport* transport = this;
+    node->loop = std::make_unique<EventLoop>(id, std::move(actor), transport,
+                                             &clock_, seed_);
+  }
+  if (running_.load()) LaunchNode(node);
 }
 
 // ---------------------------------------------------------------------------
@@ -204,6 +120,14 @@ void SyncClient::OnMessage(NodeId from, const MessagePtr& msg) {
   reply_value_ = reply.value;
   reply_hint_ = reply.leader_hint;
   cv_.notify_all();
+}
+
+NodeId SyncClient::NextTarget(NodeId after) const {
+  NodeId next = (after + 1) % num_replicas_;
+  if (next == suspect_ && num_replicas_ > 1) {
+    next = (next + 1) % num_replicas_;
+  }
+  return next;
 }
 
 Result<std::string> SyncClient::Execute(OpType op, const std::string& key,
@@ -228,21 +152,44 @@ Result<std::string> SyncClient::Execute(OpType op, const std::string& key,
     env_->Send(target_, std::make_shared<ClientRequest>(cmd));
     std::unique_lock<std::mutex> lock(mu_);
     // Per-attempt wait; overall bounded by the deadline.
-    if (!cv_.wait_until(lock, std::min(deadline,
-                                       std::chrono::steady_clock::now() +
-                                           std::chrono::milliseconds(200)),
+    if (!cv_.wait_until(lock,
+                        std::min(deadline,
+                                 std::chrono::steady_clock::now() +
+                                     std::chrono::nanoseconds(
+                                         attempt_timeout_)),
                         [this]() { return have_reply_; })) {
       if (std::chrono::steady_clock::now() >= deadline) {
         return Status::Timeout("no reply for " + key);
       }
-      target_ = (target_ + 1) % num_replicas_;  // try another replica
+      // Silence means a dead or unreachable replica: suspect it and
+      // re-probe the others instead of waiting on it again.
+      suspect_ = target_;
+      suspect_hint_strikes_ = 0;
+      target_ = NextTarget(target_);
       continue;
+    }
+    if (target_ == suspect_) {
+      suspect_ = kInvalidNode;  // it answered after all
+      suspect_hint_strikes_ = 0;
     }
     if (reply_code_ == StatusCode::kNotLeader) {
       have_reply_ = false;
-      target_ = reply_hint_ != kInvalidNode
-                    ? reply_hint_
-                    : (target_ + 1) % num_replicas_;
+      NodeId hint = reply_hint_;
+      if (hint != kInvalidNode && hint == suspect_) {
+        // Stale hint toward the crashed leader. Rotate — unless hints
+        // keep insisting, which means it really is back.
+        if (++suspect_hint_strikes_ >= kSuspectHintStrikes) {
+          suspect_ = kInvalidNode;
+          suspect_hint_strikes_ = 0;
+          target_ = hint;
+        } else {
+          target_ = NextTarget(target_);
+        }
+      } else if (hint != kInvalidNode) {
+        target_ = hint;
+      } else {
+        target_ = NextTarget(target_);
+      }
       lock.unlock();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;

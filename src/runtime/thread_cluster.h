@@ -1,18 +1,20 @@
 // Real-thread in-process runtime.
 //
-// Each actor runs on its own thread with a mailbox; messages are fully
-// encoded on send and decoded on receive (the message-decoder registry
-// must be populated, e.g. via RegisterPigPaxosMessages()). This driver
-// exists to exercise the protocols under true concurrency and real time —
-// integration tests and the examples use it; benches use the simulator.
+// Each actor runs its own EventLoop (runtime/event_loop.h) on a dedicated
+// thread; the cluster itself is just the Transport between loops: messages
+// are fully encoded on send and decoded on receive (the message-decoder
+// registry must be populated, e.g. via RegisterPigPaxosMessages()). This
+// driver exists to exercise the protocols under true concurrency and real
+// time — integration tests and the examples use it; benches use the
+// simulator and TcpCluster covers real sockets.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +22,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "consensus/env.h"
+#include "runtime/event_loop.h"
+#include "runtime/transport.h"
 #include "statemachine/command.h"
 
 namespace pig::runtime {
@@ -30,10 +34,10 @@ using pig::NodeId;
 using pig::TimeNs;
 using pig::TimerId;
 
-class ThreadCluster {
+class ThreadCluster : private Transport {
  public:
   explicit ThreadCluster(uint64_t seed = 1);
-  ~ThreadCluster();
+  ~ThreadCluster() override;
 
   ThreadCluster(const ThreadCluster&) = delete;
   ThreadCluster& operator=(const ThreadCluster&) = delete;
@@ -47,37 +51,55 @@ class ThreadCluster {
   /// Stops all actor threads (idempotent).
   void Stop();
 
+  /// Stops one node's thread and silently drops mail addressed to it from
+  /// then on — the in-process analogue of kill -9 (fault tests).
+  void StopNode(NodeId id);
+
+  /// Boots a fresh actor in a stopped node's slot. The new actor starts
+  /// from empty state and recovers through the protocol itself (LogSync),
+  /// the same way a restarted process would.
+  void RestartNode(NodeId id, std::unique_ptr<Actor> actor);
+
   Actor* actor(NodeId id);
 
   /// Monotonic nanoseconds since Start().
   TimeNs Now() const;
 
  private:
-  struct Mail {
-    NodeId from;
-    std::vector<uint8_t> wire;
+  struct Node {
+    std::unique_ptr<EventLoop> loop;
+    std::thread thread;
+    std::atomic<bool> alive{false};
   };
 
-  struct Node;
-  class NodeEnv;
+  // Transport: encode into the destination loop's recycled buffer, then
+  // enqueue. Fail-silent for unknown or stopped nodes.
+  void Send(NodeId from, NodeId to, MessagePtr msg) override;
 
-  void ThreadMain(Node* node);
   Node* FindNode(NodeId id);
+  void LaunchNode(Node* node);
 
   uint64_t seed_;
   std::atomic<bool> running_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  WallClock clock_;
+  // Guards the node->loop mapping against RestartNode swaps racing
+  // concurrent senders; Send takes it shared.
+  mutable std::shared_mutex topo_mu_;
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
   std::vector<NodeId> order_;
 };
 
-/// Blocking client facade over a ThreadCluster: submits one command and
-/// waits for the reply, following NotLeader redirects. Register it as an
-/// actor, then call Execute from any external thread.
+/// Blocking client facade over a wall-clock runtime (ThreadCluster or
+/// TcpCluster): submits one command and waits for the reply, following
+/// NotLeader redirects. Register it as an actor, then call Execute from
+/// any external thread.
 class SyncClient : public Actor {
  public:
-  explicit SyncClient(size_t num_replicas)
-      : num_replicas_(num_replicas) {}
+  /// `attempt_timeout` bounds how long one replica gets to answer before
+  /// the client re-probes another one (a crashed leader never answers).
+  explicit SyncClient(size_t num_replicas,
+                      TimeNs attempt_timeout = 200 * kMillisecond)
+      : num_replicas_(num_replicas), attempt_timeout_(attempt_timeout) {}
 
   void OnMessage(NodeId from, const MessagePtr& msg) override;
 
@@ -88,8 +110,20 @@ class SyncClient : public Actor {
                               TimeNs timeout = 5 * kSecond);
 
  private:
+  /// Next replica to probe after `after`, skipping the current suspect.
+  NodeId NextTarget(NodeId after) const;
+
   size_t num_replicas_;
+  TimeNs attempt_timeout_;
   NodeId target_ = 0;
+  // A replica that ate a request without replying (crashed or
+  // partitioned). Stale NotLeader hints keep pointing at a dead leader
+  // until its successor is elected; following them forever would stall
+  // the client, so hints toward the suspect are distrusted until
+  // redirects insist (kSuspectHintStrikes) or it answers again.
+  NodeId suspect_ = kInvalidNode;
+  int suspect_hint_strikes_ = 0;
+  static constexpr int kSuspectHintStrikes = 3;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,35 @@
+// Transport seam of the runtime layer.
+//
+// An EventLoop executes one actor; a Transport moves encoded messages
+// between loops. Splitting the two lets the same mailbox/timer/decode
+// machinery back both wall-clock runtimes:
+//   * ThreadCluster — in-process handoff into the destination loop's
+//     mailbox, recycling the destination's pooled wire buffers, and
+//   * TcpCluster    — length-prefixed frames over nonblocking sockets
+//     (src/net/frame.h).
+#pragma once
+
+#include "consensus/env.h"
+
+namespace pig::runtime {
+
+using pig::MessagePtr;
+using pig::NodeId;
+using pig::TimeNs;
+
+/// Routes messages between actors. Implementations must be thread-safe:
+/// Send is called from the sender's loop thread and, for client facades
+/// like SyncClient, from arbitrary external threads.
+///
+/// Delivery is fail-silent (unknown peer, crashed process, dropped
+/// connection all just lose the message) — exactly the Env::Send model
+/// the protocols are designed for.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Routes `msg` from node `from` toward node `to`.
+  virtual void Send(NodeId from, NodeId to, MessagePtr msg) = 0;
+};
+
+}  // namespace pig::runtime

@@ -138,6 +138,52 @@ TEST(MessageAllocTest, SteadyStateEncodeRoundAllocatesNoEncoderBuffers) {
       << "steady-state encode allocated a buffer";
 }
 
+TEST(MessageAllocTest, RelayEnvelopeListsStayInlineForNormalGroups) {
+  // The SmallVec fields: filling a RelayRequest's member list and a
+  // RelayResponse's vote buffer up to the inline capacity must never
+  // touch the heap — these are built on every fan-out/fan-in round.
+  auto req = std::make_shared<pigpaxos::RelayRequest>();
+  auto resp = std::make_shared<pigpaxos::RelayResponse>();
+  // Pre-build the votes: the shared_ptrs themselves allocate; moving
+  // them into the inline buffer must not.
+  std::shared_ptr<paxos::P2b> votes[pigpaxos::kRelayInlineCapacity];
+  for (size_t i = 0; i < pigpaxos::kRelayInlineCapacity; ++i) {
+    votes[i] = std::make_shared<paxos::P2b>();
+    votes[i]->sender = static_cast<NodeId>(i + 1);
+  }
+
+  const uint64_t before = Allocations();
+  for (size_t i = 0; i < pigpaxos::kRelayInlineCapacity; ++i) {
+    req->members.push_back(static_cast<NodeId>(i + 1));
+    resp->responses.push_back(std::move(votes[i]));
+  }
+  // Steady-state reuse: clear keeps the storage, so the next round's
+  // fill is free too.
+  req->members.clear();
+  resp->responses.clear();
+  req->members = {2, 3, 4};
+  resp->responses.push_back(nullptr);
+  const uint64_t after = Allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "inline-capacity relay list spilled to the heap";
+  EXPECT_EQ(req->members.size(), 3u);
+}
+
+TEST(MessageAllocTest, RelayEnvelopeListsSpillBeyondInlineCapacity) {
+  // Sanity check on the pin above: one element past the inline capacity
+  // must allocate (otherwise the zero-alloc assertion is vacuous).
+  pigpaxos::RelayRequest req;
+  for (size_t i = 0; i < pigpaxos::kRelayInlineCapacity; ++i) {
+    req.members.push_back(static_cast<NodeId>(i));
+  }
+  const uint64_t before = Allocations();
+  req.members.push_back(99);
+  const uint64_t after = Allocations();
+  EXPECT_GT(after - before, 0u);
+  EXPECT_EQ(req.members.size(), pigpaxos::kRelayInlineCapacity + 1);
+  EXPECT_EQ(req.members.back(), 99u);
+}
+
 TEST(MessageAllocTest, MessagePoolRecyclesSteadyState) {
   if (!MessagePool::enabled()) {
     GTEST_SKIP() << "pool is pass-through in sanitizer builds";

@@ -155,6 +155,66 @@ TEST_F(RuntimeTest, ConcurrentClientsSerialize) {
   EXPECT_GE(leader->metrics().executions, 40u);
 }
 
+TEST_F(RuntimeTest, CrashedLeaderRedirectReprobes) {
+  // Regression: SyncClient used to trust stale NotLeader hints forever.
+  // With the bootstrap leader killed, followers keep redirecting to node
+  // 0 until a new leader is elected; the client must treat the silent
+  // node as suspect, keep probing the survivors, and eventually land on
+  // the new leader instead of bouncing to the corpse until timeout.
+  runtime::ThreadCluster cluster(/*seed=*/7);
+  paxos::PaxosOptions opt;
+  opt.num_replicas = 3;
+  for (NodeId i = 0; i < 3; ++i) {
+    cluster.AddActor(i, std::make_unique<paxos::PaxosReplica>(i, opt));
+  }
+  auto client = std::make_unique<runtime::SyncClient>(3);
+  runtime::SyncClient* kv = client.get();
+  cluster.AddActor(kFirstClientId, std::move(client));
+  cluster.Start();
+
+  // Establish node 0's leadership with a successful write, then kill it.
+  ASSERT_TRUE(kv->Execute(OpType::kPut, "pre", "1").ok());
+  cluster.StopNode(0);
+
+  // Must succeed once a survivor wins the election (election timeout is
+  // 200-400 ms; 10 s is generous slack, not the expected duration).
+  Result<std::string> put =
+      kv->Execute(OpType::kPut, "post", "2", /*timeout=*/10 * kSecond);
+  ASSERT_TRUE(put.ok()) << put.status().ToString();
+  Result<std::string> get =
+      kv->Execute(OpType::kGet, "post", "", /*timeout=*/10 * kSecond);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get.value(), "2");
+  cluster.Stop();
+}
+
+TEST_F(RuntimeTest, RestartedNodeRejoins) {
+  // StopNode + RestartNode: a fresh replica in an old slot recovers via
+  // the protocol (LogSync) and the cluster keeps serving.
+  runtime::ThreadCluster cluster(/*seed=*/8);
+  paxos::PaxosOptions opt;
+  opt.num_replicas = 3;
+  for (NodeId i = 0; i < 3; ++i) {
+    cluster.AddActor(i, std::make_unique<paxos::PaxosReplica>(i, opt));
+  }
+  auto client = std::make_unique<runtime::SyncClient>(3);
+  runtime::SyncClient* kv = client.get();
+  cluster.AddActor(kFirstClientId, std::move(client));
+  cluster.Start();
+
+  ASSERT_TRUE(kv->Execute(OpType::kPut, "a", "1").ok());
+  cluster.StopNode(2);
+  ASSERT_TRUE(kv->Execute(OpType::kPut, "b", "2").ok());
+  cluster.RestartNode(2, std::make_unique<paxos::PaxosReplica>(2, opt));
+  Result<std::string> put =
+      kv->Execute(OpType::kPut, "c", "3", /*timeout=*/10 * kSecond);
+  ASSERT_TRUE(put.ok()) << put.status().ToString();
+  Result<std::string> get = kv->Execute(OpType::kGet, "c", "");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get.value(), "3");
+  cluster.Stop();
+}
+
 TEST_F(RuntimeTest, StopIsIdempotentAndDestructorSafe) {
   auto cluster = std::make_unique<runtime::ThreadCluster>(6);
   paxos::PaxosOptions opt;

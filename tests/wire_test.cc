@@ -11,6 +11,7 @@
 #include "consensus/client_messages.h"
 #include "statemachine/batch.h"
 #include "epaxos/messages.h"
+#include "net/frame.h"
 #include "paxos/messages.h"
 #include "paxos/quorum_reads.h"
 #include "pigpaxos/messages.h"
@@ -26,6 +27,7 @@ class WireTest : public ::testing::Test {
     pigpaxos::RegisterPigPaxosMessages();
     epaxos::RegisterEPaxosMessages();
     baselines::RegisterRingMessages();
+    net::RegisterFrameMessages();
   }
 
   /// Encodes, decodes, re-encodes and requires byte-identical output.
@@ -176,7 +178,7 @@ TEST_F(WireTest, RelayEnvelopesRoundTrip) {
   auto out = RoundTrip(req);
   ASSERT_NE(out, nullptr);
   const auto& got = static_cast<const pigpaxos::RelayRequest&>(*out);
-  EXPECT_EQ(got.members, (std::vector<NodeId>{3, 4, 5}));
+  EXPECT_EQ(got.members, (pigpaxos::RelayRequest::MemberVec{3, 4, 5}));
   ASSERT_NE(got.inner, nullptr);
   EXPECT_EQ(got.inner->type(), MsgType::kP2a);
   EXPECT_EQ(static_cast<const paxos::P2a&>(*got.inner).slot, 100);
@@ -603,6 +605,10 @@ std::map<MsgType, MessagePtr> ExemplarMessages() {
   read_reply->pending_write = true;
   add(read_reply);
 
+  auto hello = std::make_shared<net::NodeHello>();
+  hello->sender = kFirstClientId + 2;
+  add(hello);
+
   return out;
 }
 
@@ -673,6 +679,123 @@ TEST_F(WireTest, DebugStringNeverTruncates) {
                    " bytes)");
   EXPECT_GE(s.size(), 38u);
   EXPECT_EQ(s.back(), ')');
+}
+
+// --- Stream framing (net/frame.h) --------------------------------------
+
+TEST_F(WireTest, FramedMessagesCoalesceAndRoundTrip) {
+  // Several frames appended into one buffer (the per-connection output
+  // path) must come back out of the reader one by one, bytes intact,
+  // regardless of how the buffer is chunked in between.
+  paxos::P2a p2a;
+  p2a.ballot = Ballot(5, 0);
+  p2a.slot = 42;
+  p2a.command = Command::Put("key", "value", kFirstClientId, 3);
+  net::NodeHello hello;
+  hello.sender = 7;
+  paxos::P3 p3;
+  p3.ballot = Ballot(5, 0);
+  p3.commit_index = 42;
+
+  std::vector<uint8_t> buf;
+  net::AppendFrame(hello, &buf);
+  net::AppendFrame(p2a, &buf);
+  net::AppendFrame(p3, &buf);
+  EXPECT_EQ(buf.size(), hello.WireSize() + p2a.WireSize() + p3.WireSize() +
+                            3 * net::kFrameHeaderBytes);
+
+  net::FrameReader reader;
+  reader.Append(buf.data(), buf.size());
+  const uint8_t* payload;
+  size_t size;
+  MsgType want[] = {MsgType::kNodeHello, MsgType::kP2a, MsgType::kP3};
+  for (MsgType expected : want) {
+    ASSERT_EQ(reader.Next(&payload, &size),
+              net::FrameReader::Result::kFrame);
+    MessagePtr msg;
+    ASSERT_TRUE(DecodeMessage(payload, size, &msg).ok());
+    EXPECT_EQ(msg->type(), expected);
+  }
+  EXPECT_EQ(reader.Next(&payload, &size),
+            net::FrameReader::Result::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST_F(WireTest, TornFramesNeedMoreUntilComplete) {
+  // Feed the stream one byte at a time: every prefix must yield
+  // kNeedMore (never a frame, never corruption) until the last byte
+  // lands, at which point exactly one frame appears.
+  paxos::P2b p2b;
+  p2b.sender = 3;
+  p2b.ballot = Ballot(5, 0);
+  p2b.slot = 42;
+  p2b.ok = true;
+  std::vector<uint8_t> buf;
+  net::AppendFrame(p2b, &buf);
+
+  net::FrameReader reader;
+  const uint8_t* payload;
+  size_t size;
+  for (size_t i = 0; i + 1 < buf.size(); ++i) {
+    reader.Append(&buf[i], 1);
+    EXPECT_EQ(reader.Next(&payload, &size),
+              net::FrameReader::Result::kNeedMore)
+        << "frame surfaced after " << (i + 1) << " of " << buf.size()
+        << " bytes";
+  }
+  reader.Append(&buf[buf.size() - 1], 1);
+  ASSERT_EQ(reader.Next(&payload, &size),
+            net::FrameReader::Result::kFrame);
+  MessagePtr msg;
+  ASSERT_TRUE(DecodeMessage(payload, size, &msg).ok());
+  EXPECT_EQ(msg->type(), MsgType::kP2b);
+}
+
+TEST_F(WireTest, GarbagePrefixIsCorruptAndSticky) {
+  // A length prefix above kMaxFramePayload means the stream desynced;
+  // the reader must report corruption and keep reporting it — even if
+  // plausible bytes arrive later — so the connection gets dropped.
+  net::FrameReader reader;
+  const uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0x00, 0x01};
+  reader.Append(garbage, sizeof(garbage));
+  const uint8_t* payload;
+  size_t size;
+  EXPECT_EQ(reader.Next(&payload, &size),
+            net::FrameReader::Result::kCorrupt);
+
+  paxos::P3 p3;
+  std::vector<uint8_t> good;
+  net::AppendFrame(p3, &good);
+  reader.Append(good.data(), good.size());
+  EXPECT_EQ(reader.Next(&payload, &size),
+            net::FrameReader::Result::kCorrupt);
+
+  // Reset (reconnect) clears the poison.
+  reader.Reset();
+  EXPECT_EQ(reader.buffered(), 0u);
+  reader.Append(good.data(), good.size());
+  EXPECT_EQ(reader.Next(&payload, &size),
+            net::FrameReader::Result::kFrame);
+}
+
+TEST_F(WireTest, FramePayloadBytesMatchEncodeMessageTo) {
+  // The frame payload must be exactly what EncodeMessageTo produces, so
+  // the receiving loop can hand it straight to DecodeMessage.
+  pigpaxos::RelayRequest req;
+  req.relay_id = 9;
+  req.origin = 0;
+  req.members = {1, 2, 3};
+  auto inner = std::make_shared<paxos::P3>();
+  inner->commit_index = 5;
+  req.inner = inner;
+
+  std::vector<uint8_t> framed;
+  net::AppendFrame(req, &framed);
+  std::vector<uint8_t> plain;
+  EncodeMessageTo(req, &plain);
+  ASSERT_EQ(framed.size(), plain.size() + net::kFrameHeaderBytes);
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(),
+                         framed.begin() + net::kFrameHeaderBytes));
 }
 
 TEST_F(WireTest, WireSizeGrowsWithPayload) {
