@@ -17,6 +17,13 @@ stay >= the baseline value with no tolerance, while its wall time is
 recorded but never fails the gate (loopback latency on shared runners is
 noise; a lost command is not).
 
+bench_sharded_scaling (keyspace sharding across consensus groups, PR 7)
+is gated the same way but on its sim_req_s counter: virtual-time
+throughput is fully deterministic per seed, so the counter must stay >=
+its baseline regardless of how slow the runner is. A cross-row ratio
+floor additionally requires groups:4 to deliver >= 3x the simulated
+throughput of groups:1 — the scale-out acceptance criterion itself.
+
 Typical use:
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build-release -j
@@ -82,23 +89,43 @@ PINNED_BY_BINARY = {
     "bench_tcp_loopback": [
         "BM_TcpFig8Shape/iterations:1/real_time",
     ],
+    # Keyspace sharding (PR 7): fig8-shaped 25-node cluster hash-
+    # partitioned across independent consensus groups, leaders spread
+    # across nodes. Gated on the deterministic sim_req_s counter (see
+    # COMPLETION_COUNTERS) plus the groups:4 >= 3x groups:1 ratio floor.
+    "bench_sharded_scaling": [
+        "BM_ShardedFig8Shape/groups:1",
+        "BM_ShardedFig8Shape/groups:4",
+        "BM_ShardedFig8Shape/groups:16",
+    ],
 }
 PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]
 
-# Benchmarks gated on a completion counter instead of throughput: the
+# Benchmarks gated on a counter instead of wall-clock throughput: the
 # named counter must stay >= its baseline value (items/second is recorded
-# for reference but never fails the gate for these).
+# for reference but never fails the gate for these). committed_ops is a
+# completion count; sim_req_s is virtual-time throughput — both are
+# deterministic per seed, so the comparison has no tolerance.
 COMPLETION_COUNTERS = {
     "BM_TcpFig8Shape/iterations:1/real_time": "committed_ops",
+    "BM_ShardedFig8Shape/groups:1": "sim_req_s",
+    "BM_ShardedFig8Shape/groups:4": "sim_req_s",
+    "BM_ShardedFig8Shape/groups:16": "sim_req_s",
 }
 
 # Cross-benchmark ratio floors, checked within the same run (independent
-# of the baseline): numerator / denominator must stay >= floor. Guards
-# the batching win itself — a change that speeds the legacy path or
-# erodes the batched path past the acceptance floor fails the gate even
-# after a baseline refresh.
+# of the baseline): numerator / denominator on the named metric must stay
+# >= floor. Guards the perf win itself — a change that speeds the legacy
+# path or erodes the optimized path past the acceptance floor fails the
+# gate even after a baseline refresh. The metric is "items_per_second" or
+# a COMPLETION_COUNTERS counter shared by both rows.
 RATIO_FLOORS = [
-    ("BM_BatchPipelineFig8/8/8", "BM_BatchPipelineFig8/1/1", 1.3),
+    ("BM_BatchPipelineFig8/8/8", "BM_BatchPipelineFig8/1/1", 1.3,
+     "items_per_second"),
+    # Scale-out acceptance: 4 groups must deliver >= 3x the simulated
+    # throughput of 1 group on the identical workload and seed.
+    ("BM_ShardedFig8Shape/groups:4", "BM_ShardedFig8Shape/groups:1", 3.0,
+     "sim_req_s"),
 ]
 
 
@@ -231,14 +258,16 @@ def main():
 
     ratio_failures = []
     ratio_checks = {}
-    for num, den, floor in RATIO_FLOORS:
-        den_ips = medians[den]["items_per_second"]
-        ratio = (medians[num]["items_per_second"] / den_ips
-                 if den_ips > 0 else float("inf"))
+    for num, den, floor, metric in RATIO_FLOORS:
+        den_val = medians[den][metric]
+        ratio = (medians[num][metric] / den_val
+                 if den_val > 0 else float("inf"))
         key = "%s / %s" % (num, den)
-        ratio_checks[key] = {"ratio": ratio, "floor": floor}
+        ratio_checks[key] = {"ratio": ratio, "floor": floor,
+                             "metric": metric}
         if ratio < floor:
-            ratio_failures.append("%s = %.2f < %.2f" % (key, ratio, floor))
+            ratio_failures.append("%s [%s] = %.2f < %.2f"
+                                  % (key, metric, ratio, floor))
 
     result = {
         "threshold": args.threshold,
@@ -294,8 +323,8 @@ def main():
         return 0
 
     for key, check in ratio_checks.items():
-        print("  ratio %-44s %.2f (floor %.2f)"
-              % (key, check["ratio"], check["floor"]))
+        print("  ratio %-44s %.2f (floor %.2f, %s)"
+              % (key, check["ratio"], check["floor"], check["metric"]))
     if ratio_failures:
         print("FAIL: in-run throughput ratio below floor: %s"
               % "; ".join(ratio_failures))

@@ -11,6 +11,7 @@
 #   --base-port P      first listen port (default: 42100)
 #   --protocol NAME    paxos | pigpaxos | epaxos (default: pigpaxos)
 #   --relay-groups N   PigPaxos relay groups (default: 3)
+#   --groups N         consensus groups sharding the keyspace (default: 1)
 #   --kill-relay       kill -9 one relay mid-run and restart it two
 #                      seconds later; the workload must still commit
 #                      every command
@@ -25,6 +26,7 @@ OPS=200
 BASE_PORT=42100
 PROTOCOL=pigpaxos
 RELAY_GROUPS=3
+NUM_GROUPS=1
 KILL_RELAY=0
 
 while [[ $# -gt 0 ]]; do
@@ -35,6 +37,7 @@ while [[ $# -gt 0 ]]; do
     --base-port) BASE_PORT="$2"; shift 2 ;;
     --protocol) PROTOCOL="$2"; shift 2 ;;
     --relay-groups) RELAY_GROUPS="$2"; shift 2 ;;
+    --groups) NUM_GROUPS="$2"; shift 2 ;;
     --kill-relay) KILL_RELAY=1; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -67,6 +70,7 @@ launch_node() {
   local id="$1"
   "${PIG_NODE}" --node-id="${id}" --peers="${PEERS}" \
       --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
+      --num-groups="${NUM_GROUPS}" \
       > "${LOG_DIR}/node${id}.log" 2>&1 &
   PIDS[id]=$!
 }
@@ -92,6 +96,7 @@ if [[ "${KILL_RELAY}" -eq 1 ]]; then
     echo "restarting node 1"
     "${PIG_NODE}" --node-id=1 --peers="${PEERS}" \
         --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
+        --num-groups="${NUM_GROUPS}" \
         > "${LOG_DIR}/node1.restart.log" 2>&1 &
     echo "$!" > "${LOG_DIR}/node1.restart.pid"
   ) &
@@ -103,6 +108,7 @@ echo "Running client: ${OPS} ops"
 set +e
 CLIENT_OUT="$("${PIG_NODE}" --client --peers="${PEERS}" \
     --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
+    --num-groups="${NUM_GROUPS}" \
     --ops="${OPS}" "${CLIENT_EXTRA[@]}" 2>&1)"
 CLIENT_RC=$?
 set -e
@@ -118,6 +124,6 @@ if [[ "${CLIENT_RC}" -ne 0 ]] || \
   exit 1
 fi
 
-echo "PASS: ${OPS}/${OPS} commands committed over ${NODES}-process TCP cluster"
+echo "PASS: ${OPS}/${OPS} commands committed over ${NODES}-process TCP cluster (groups=${NUM_GROUPS})"
 rm -rf "${LOG_DIR}"
 exit 0

@@ -2,16 +2,22 @@
 
 #include <cassert>
 
+#include "shard/messages.h"
+
 namespace pig::client {
 
 void Recorder::RecordCompletion(TimeNs issued_at, TimeNs completed_at,
-                                bool is_read) {
+                                bool is_read, uint32_t group) {
   (void)is_read;
   const size_t second = static_cast<size_t>(completed_at / kSecond);
   if (timeline_.size() <= second) timeline_.resize(second + 1, 0);
   timeline_[second]++;
   if (completed_at < window_start_ || completed_at >= window_end_) return;
   completed_++;
+  if (per_group_completed_.size() <= group) {
+    per_group_completed_.resize(group + 1, 0);
+  }
+  per_group_completed_[group]++;
   latency_.Record(completed_at - issued_at);
 }
 
@@ -27,8 +33,14 @@ ClosedLoopClient::ClosedLoopClient(ClientConfig config,
                                    std::shared_ptr<Recorder> recorder)
     : config_(config),
       recorder_(std::move(recorder)),
-      workload_(config.workload) {
+      workload_(config.workload),
+      router_(config.num_groups > 0 ? config.num_groups : 1,
+              config.num_replicas > 0 ? config.num_replicas : 1) {
   assert(recorder_ != nullptr);
+  // Sharding routes every request to its group's leader; a random-replica
+  // policy would fight the router.
+  assert(config_.num_groups <= 1 ||
+         config_.target_policy == TargetPolicy::kFixedLeader);
 }
 
 void ClosedLoopClient::OnStart() {
@@ -51,16 +63,40 @@ NodeId ClosedLoopClient::PickTarget() {
 
 void ClosedLoopClient::IssueNext() {
   current_ = workload_.Next(env_->self(), ++seq_, env_->rng());
+  if (config_.num_groups > 1) {
+    if (config_.affine_group >= 0) {
+      // Redraw until the key lands in this client's group: expected
+      // num_groups draws, deterministic given the rng stream. Bounded
+      // in case a tiny keyspace misses the group entirely.
+      const auto want = static_cast<uint32_t>(config_.affine_group);
+      for (int tries = 0;
+           tries < 1000 &&
+           shard::GroupOfCommand(current_, config_.num_groups) != want;
+           ++tries) {
+        current_ = workload_.Next(env_->self(), seq_, env_->rng());
+      }
+    }
+    current_group_ = shard::GroupOfCommand(current_, config_.num_groups);
+  }
   issued_++;
   SendCurrent();
 }
 
 void ClosedLoopClient::SendCurrent() {
   issued_at_ = env_->Now();
-  if (config_.target_policy == TargetPolicy::kRandomReplica) {
-    target_ = PickTarget();
+  if (config_.num_groups > 1) {
+    // Sharded path: the router owns per-group leader targeting, and
+    // requests travel enveloped so the hosting node can dispatch them.
+    env_->Send(router_.Target(current_group_),
+               MessagePool::Make<shard::ShardEnvelope>(
+                   current_group_,
+                   std::make_shared<pig::ClientRequest>(current_)));
+  } else {
+    if (config_.target_policy == TargetPolicy::kRandomReplica) {
+      target_ = PickTarget();
+    }
+    env_->Send(target_, std::make_shared<pig::ClientRequest>(current_));
   }
-  env_->Send(target_, std::make_shared<pig::ClientRequest>(current_));
   if (timeout_timer_ != kInvalidTimer) env_->CancelTimer(timeout_timer_);
   timeout_timer_ = env_->SetTimer(config_.request_timeout,
                                   [this]() { OnRequestTimeout(); });
@@ -72,8 +108,10 @@ void ClosedLoopClient::OnRequestTimeout() {
   // The leader may have changed or the request was lost: try another
   // replica (round-robin away from the current target) and re-send the
   // same command (dedup at replicas makes this safe).
-  if (config_.num_replicas > 1 &&
-      config_.target_policy == TargetPolicy::kFixedLeader) {
+  if (config_.num_groups > 1) {
+    router_.NoteSilence(current_group_);
+  } else if (config_.num_replicas > 1 &&
+             config_.target_policy == TargetPolicy::kFixedLeader) {
     target_ = (target_ + 1) % config_.num_replicas;
   }
   SendCurrent();
@@ -81,8 +119,22 @@ void ClosedLoopClient::OnRequestTimeout() {
 
 void ClosedLoopClient::OnMessage(NodeId from, const MessagePtr& msg) {
   (void)from;
-  if (msg->type() != MsgType::kClientReply) return;
-  const auto& reply = static_cast<const pig::ClientReply&>(*msg);
+  MessagePtr inner;  // keeps an unwrapped reply alive through handling
+  const Message* payload = msg.get();
+  uint32_t reply_group = 0;
+  if (config_.num_groups > 1) {
+    if (msg->type() != MsgType::kShardEnvelope) return;
+    const auto& wrapped = static_cast<const shard::ShardEnvelope&>(*msg);
+    if (!wrapped.inner || wrapped.group >= config_.num_groups) return;
+    reply_group = wrapped.group;
+    inner = wrapped.inner;
+    payload = inner.get();
+    // Any answer from a suspected node clears its suspicion, even a
+    // stale one — it proves the node is alive again.
+    router_.NoteReply(reply_group, from);
+  }
+  if (payload->type() != MsgType::kClientReply) return;
+  const auto& reply = static_cast<const pig::ClientReply&>(*payload);
   if (reply.seq != seq_) {  // stale reply for an older request
     // Only successes count as stale *replies* — a late NotLeader bounce
     // for a superseded request involved no execution at all.
@@ -92,8 +144,10 @@ void ClosedLoopClient::OnMessage(NodeId from, const MessagePtr& msg) {
 
   if (reply.code == StatusCode::kNotLeader) {
     recorder_->RecordRedirect();
-    if (reply.leader_hint != kInvalidNode &&
-        reply.leader_hint != target_) {
+    if (config_.num_groups > 1) {
+      router_.NoteRedirect(reply_group, reply.leader_hint);
+    } else if (reply.leader_hint != kInvalidNode &&
+               reply.leader_hint != target_) {
       target_ = reply.leader_hint;
     } else if (config_.num_replicas > 1) {
       target_ = (target_ + 1) % config_.num_replicas;
@@ -122,7 +176,7 @@ void ClosedLoopClient::OnMessage(NodeId from, const MessagePtr& msg) {
     backoff_timer_ = kInvalidTimer;
   }
   recorder_->RecordCompletion(issued_at_, env_->Now(),
-                              current_.op == OpType::kGet);
+                              current_.op == OpType::kGet, current_group_);
   IssueNext();
 }
 

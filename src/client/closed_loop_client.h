@@ -15,6 +15,7 @@
 #include "common/histogram.h"
 #include "consensus/client_messages.h"
 #include "consensus/env.h"
+#include "shard/router.h"
 
 namespace pig::client {
 
@@ -34,7 +35,10 @@ class Recorder {
     window_end_ = end;
   }
 
-  void RecordCompletion(TimeNs issued_at, TimeNs completed_at, bool is_read);
+  /// `group` attributes the completion to one consensus group in sharded
+  /// runs (always 0 for single-group deployments).
+  void RecordCompletion(TimeNs issued_at, TimeNs completed_at, bool is_read,
+                        uint32_t group = 0);
   void RecordRedirect() { redirects_++; }
   void RecordTimeout() { timeouts_++; }
   /// A reply for an already-completed request (duplicate delivery after a
@@ -55,6 +59,12 @@ class Recorder {
   /// for throughput-over-time plots.
   const std::vector<uint64_t>& timeline() const { return timeline_; }
 
+  /// In-window completions per consensus group (indexed by group id;
+  /// sized by the highest group seen). Single-group runs report {total}.
+  const std::vector<uint64_t>& per_group_completed() const {
+    return per_group_completed_;
+  }
+
  private:
   TimeNs window_start_ = 0;
   TimeNs window_end_ = 0;
@@ -64,6 +74,7 @@ class Recorder {
   uint64_t stale_replies_ = 0;
   Histogram latency_;
   std::vector<uint64_t> timeline_;
+  std::vector<uint64_t> per_group_completed_;
 };
 
 /// Where a client sends its requests.
@@ -87,6 +98,21 @@ struct ClientConfig {
 
   /// Backoff before retrying after a NotLeader redirect.
   TimeNs redirect_backoff = 1 * kMillisecond;
+
+  /// Consensus groups the keyspace is sharded across. 1 keeps the
+  /// historical single-group behavior byte-identical (no envelopes, no
+  /// router); > 1 routes each command by key hash, wraps traffic in
+  /// ShardEnvelopes, and tracks one leader guess per group. Sharding
+  /// implies kFixedLeader per group.
+  uint32_t num_groups = 1;
+
+  /// Sharded runs only: when >= 0 the client redraws its workload until
+  /// the command's key hashes to this group, making it a single-group
+  /// load source. Isolation experiments need this — a closed-loop
+  /// client with mixed keys head-of-line blocks on a crashed group's
+  /// election and starves the healthy groups, which says nothing about
+  /// the consensus layer. -1 (default) keeps the mixed workload.
+  int affine_group = -1;
 };
 
 class ClosedLoopClient : public Actor {
@@ -107,6 +133,9 @@ class ClosedLoopClient : public Actor {
   ClientConfig config_;
   std::shared_ptr<Recorder> recorder_;
   WorkloadGenerator workload_;
+  // Per-group leader tracking; inert (single group 0) when unsharded.
+  shard::ShardRouter router_;
+  uint32_t current_group_ = 0;
 
   uint64_t seq_ = 0;
   uint64_t issued_ = 0;

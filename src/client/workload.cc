@@ -1,6 +1,8 @@
 #include "client/workload.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace pig::client {
@@ -9,7 +11,39 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
     : config_(config) {
   assert(config_.num_keys > 0);
   assert(config_.key_size >= 4);
+  assert(config_.zipf_theta >= 0.0 && config_.zipf_theta < 1.0);
   payload_.assign(config_.payload_size, 'v');
+  if (config_.zipf_theta > 0.0) {
+    const double theta = config_.zipf_theta;
+    const double n = static_cast<double>(config_.num_keys);
+    zeta_n_ = 0.0;
+    for (size_t i = 1; i <= config_.num_keys; ++i) {
+      zeta_n_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zipf_half_pow_ = 1.0 + std::pow(0.5, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                (1.0 - zipf_half_pow_ / zeta_n_);
+  }
+}
+
+uint64_t WorkloadGenerator::NextKeyIndex(Rng& rng) const {
+  if (config_.zipf_theta == 0.0) {
+    // Historical uniform path: unchanged draw sequence, so theta = 0
+    // runs stay byte-identical to pre-Zipfian builds.
+    return rng.NextBounded(config_.num_keys);
+  }
+  // Gray et al. "Quickly generating billion-record synthetic databases"
+  // — one uniform draw per sample, no rejection. Rank 0 is the hottest
+  // key.
+  const double u = rng.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < zipf_half_pow_) return 1;
+  const auto idx = static_cast<uint64_t>(
+      static_cast<double>(config_.num_keys) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  return std::min<uint64_t>(idx, config_.num_keys - 1);
 }
 
 std::string WorkloadGenerator::KeyAt(uint64_t i) const {
@@ -24,7 +58,7 @@ std::string WorkloadGenerator::KeyAt(uint64_t i) const {
 
 Command WorkloadGenerator::Next(NodeId client, uint64_t seq,
                                 Rng& rng) const {
-  std::string key = KeyAt(rng.NextBounded(config_.num_keys));
+  std::string key = KeyAt(NextKeyIndex(rng));
   if (rng.NextDouble() < config_.read_ratio) {
     return Command::Get(std::move(key), client, seq);
   }

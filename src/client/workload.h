@@ -20,6 +20,13 @@ struct WorkloadConfig {
   size_t key_size = 8;       ///< Paper: 8-byte keys.
   size_t payload_size = 8;   ///< Value bytes for writes (Fig. 12 sweeps).
   double read_ratio = 0.5;   ///< Paper default: 50/50 read-write.
+
+  /// Zipfian skew exponent (YCSB-style). 0 keeps the uniform key pick
+  /// byte-identical to the historical behavior; values in (0, 1) skew
+  /// popularity toward low key indices (0.99 is the YCSB default for
+  /// "hot key" runs) — the interesting regime for sharding, where one
+  /// group ends up owning the hottest keys.
+  double zipf_theta = 0.0;
 };
 
 /// Stateless command factory; deterministic given the caller's Rng.
@@ -36,8 +43,18 @@ class WorkloadGenerator {
   const WorkloadConfig& config() const { return config_; }
 
  private:
+  /// Key index for one draw: uniform, or Zipfian when zipf_theta > 0.
+  uint64_t NextKeyIndex(Rng& rng) const;
+
   WorkloadConfig config_;
   std::string payload_;  // pre-built write payload
+
+  // Zipfian constants (Gray et al. rejection-free method, as in YCSB),
+  // precomputed once; unused when zipf_theta == 0.
+  double zeta_n_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+  double zipf_half_pow_ = 0.0;  // 1 + 0.5^theta
 };
 
 }  // namespace pig::client

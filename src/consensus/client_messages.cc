@@ -5,7 +5,7 @@
 namespace pig {
 
 Status ClientRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto msg = std::make_shared<ClientRequest>();
+  auto msg = MessagePool::Make<ClientRequest>();
   Status s = Command::Decode(dec, &msg->cmd);
   if (!s.ok()) return s;
   *out = std::move(msg);
@@ -21,7 +21,7 @@ void ClientReply::EncodeBody(Encoder& enc) const {
 }
 
 Status ClientReply::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto msg = std::make_shared<ClientReply>();
+  auto msg = MessagePool::Make<ClientReply>();
   Status s;
   if (!(s = dec.GetU64(&msg->seq)).ok()) return s;
   uint8_t code = 0;
@@ -40,7 +40,7 @@ std::string ClientReply::DebugString() const {
 }
 
 Status Heartbeat::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto msg = std::make_shared<Heartbeat>();
+  auto msg = MessagePool::Make<Heartbeat>();
   Status s = Ballot::Decode(dec, &msg->ballot);
   if (!s.ok()) return s;
   if (!(s = dec.GetI64(&msg->commit_index)).ok()) return s;

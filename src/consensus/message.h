@@ -58,6 +58,9 @@ enum class MsgType : uint8_t {
   // Transport-level handshake (net/frame.h); consumed by the TCP runtime,
   // never dispatched to actors.
   kNodeHello = 60,
+  // Multi-group sharding envelope (shard/messages.h): tags any protocol
+  // message with the consensus group it belongs to.
+  kShardEnvelope = 70,
 };
 
 /// Base class for every message exchanged between actors.

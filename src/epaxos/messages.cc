@@ -43,7 +43,7 @@ void PreAccept::EncodeBody(Encoder& enc) const {
 }
 
 Status PreAccept::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<PreAccept>();
+  auto m = MessagePool::Make<PreAccept>();
   Status s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
   if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
@@ -72,7 +72,7 @@ void PreAcceptReply::EncodeBody(Encoder& enc) const {
 }
 
 Status PreAcceptReply::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<PreAcceptReply>();
+  auto m = MessagePool::Make<PreAcceptReply>();
   Status s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
   if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
@@ -93,7 +93,7 @@ void EAccept::EncodeBody(Encoder& enc) const {
 }
 
 Status EAccept::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<EAccept>();
+  auto m = MessagePool::Make<EAccept>();
   Status s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
   if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
@@ -112,7 +112,7 @@ void EAcceptReply::EncodeBody(Encoder& enc) const {
 }
 
 Status EAcceptReply::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<EAcceptReply>();
+  auto m = MessagePool::Make<EAcceptReply>();
   Status s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
   if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
@@ -130,7 +130,7 @@ void ECommit::EncodeBody(Encoder& enc) const {
 }
 
 Status ECommit::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<ECommit>();
+  auto m = MessagePool::Make<ECommit>();
   Status s;
   if (!(s = InstanceId::Decode(dec, &m->inst)).ok()) return s;
   if (!(s = Command::Decode(dec, &m->cmd)).ok()) return s;

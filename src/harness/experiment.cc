@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "shard/sharded_node.h"
 
 namespace pig::harness {
 
@@ -58,6 +59,11 @@ paxos::PaxosOptions MakePaxosOptions(const ExperimentConfig& config) {
 
 RunResult RunExperiment(const ExperimentConfig& config) {
   assert(config.num_replicas >= 1);
+  const size_t num_groups = std::max<size_t>(1, config.num_groups);
+  // Sharding multiplexes leader-based groups; EPaxos/Ring have their own
+  // scaling story and stay single-group.
+  assert(num_groups == 1 || config.protocol == Protocol::kPaxos ||
+         config.protocol == Protocol::kPigPaxos);
 
   sim::ClusterOptions copt;
   copt.seed = config.seed;
@@ -75,35 +81,51 @@ RunResult RunExperiment(const ExperimentConfig& config) {
   sim::Cluster cluster(copt);
 
   // --- Replicas ---------------------------------------------------------
+  // Builds one consensus-group replica. Group g bootstraps its leader on
+  // node g % N (leader spreading); group 0 keeps the historical node-0
+  // bootstrap, so single-group runs are unchanged.
+  auto make_group_replica = [&config](NodeId id, uint32_t group)
+      -> std::unique_ptr<pig::Actor> {
+    paxos::PaxosOptions base = MakePaxosOptions(config);
+    base.bootstrap_leader =
+        static_cast<NodeId>(group % config.num_replicas);
+    if (config.protocol == Protocol::kPaxos) {
+      return std::make_unique<paxos::PaxosReplica>(id, base);
+    }
+    pigpaxos::PigPaxosOptions popt;
+    popt.paxos = base;
+    popt.num_relay_groups = config.relay_groups;
+    popt.group_overlap = config.group_overlap;
+    popt.relay_timeout = config.relay_timeout;
+    popt.group_response_threshold = config.group_response_threshold;
+    popt.relay_layers = config.relay_layers;
+    popt.reshuffle_interval = config.reshuffle_interval;
+    popt.uplink_coalesce_max = config.uplink_coalesce_max;
+    popt.uplink_flush_delay = config.uplink_flush_delay;
+    if (config.topology == Topology::kWanVaCaOr && config.region_grouping) {
+      // One relay group per region (§6.4).
+      popt.grouping = pigpaxos::GroupingStrategy::kRegion;
+      const size_t n = config.num_replicas;
+      popt.region_of = [n](NodeId node) {
+        return WanRegionOfNode(node, n);
+      };
+    }
+    return std::make_unique<pigpaxos::PigPaxosReplica>(id, popt);
+  };
+
   for (NodeId id = 0; id < config.num_replicas; ++id) {
-    switch (config.protocol) {
-      case Protocol::kPaxos: {
-        cluster.AddReplica(id, std::make_unique<paxos::PaxosReplica>(
-                                   id, MakePaxosOptions(config)));
-        break;
+    if (num_groups > 1) {
+      auto node = std::make_unique<shard::ShardedNode>(num_groups);
+      for (uint32_t g = 0; g < num_groups; ++g) {
+        node->AddGroup(make_group_replica(id, g));
       }
+      cluster.AddReplica(id, std::move(node));
+      continue;
+    }
+    switch (config.protocol) {
+      case Protocol::kPaxos:
       case Protocol::kPigPaxos: {
-        pigpaxos::PigPaxosOptions popt;
-        popt.paxos = MakePaxosOptions(config);
-        popt.num_relay_groups = config.relay_groups;
-        popt.group_overlap = config.group_overlap;
-        popt.relay_timeout = config.relay_timeout;
-        popt.group_response_threshold = config.group_response_threshold;
-        popt.relay_layers = config.relay_layers;
-        popt.reshuffle_interval = config.reshuffle_interval;
-        popt.uplink_coalesce_max = config.uplink_coalesce_max;
-        popt.uplink_flush_delay = config.uplink_flush_delay;
-        if (config.topology == Topology::kWanVaCaOr &&
-            config.region_grouping) {
-          // One relay group per region (§6.4).
-          popt.grouping = pigpaxos::GroupingStrategy::kRegion;
-          const size_t n = config.num_replicas;
-          popt.region_of = [n](NodeId node) {
-            return WanRegionOfNode(node, n);
-          };
-        }
-        cluster.AddReplica(
-            id, std::make_unique<pigpaxos::PigPaxosReplica>(id, popt));
+        cluster.AddReplica(id, make_group_replica(id, 0));
         break;
       }
       case Protocol::kEPaxos: {
@@ -136,6 +158,10 @@ RunResult RunExperiment(const ExperimentConfig& config) {
     ccfg.target_policy = config.protocol == Protocol::kEPaxos
                              ? client::TargetPolicy::kRandomReplica
                              : client::TargetPolicy::kFixedLeader;
+    ccfg.num_groups = static_cast<uint32_t>(num_groups);
+    if (config.shard_affine_clients && num_groups > 1) {
+      ccfg.affine_group = static_cast<int>(i % num_groups);
+    }
     cluster.AddClient(
         sim::Cluster::MakeClientId(static_cast<uint32_t>(i)),
         std::make_unique<client::ClosedLoopClient>(ccfg, recorder));
@@ -170,6 +196,33 @@ RunResult RunExperiment(const ExperimentConfig& config) {
   result.total_events = cluster.scheduler().executed_count();
 
   const double requests = std::max<double>(1.0, (double)recorder->completed());
+  // Sums one hosted replica's protocol counters into the result; in
+  // sharded runs this runs once per (node, group).
+  auto accumulate_counters = [&result, &config](const pig::Actor* actor) {
+    const auto* rep = static_cast<const paxos::PaxosReplica*>(actor);
+    result.elections_started += rep->metrics().elections_started;
+    result.propose_retries += rep->metrics().propose_retries;
+    result.log_syncs += rep->metrics().log_syncs;
+    result.batches_proposed += rep->metrics().batches_proposed;
+    result.batched_commands += rep->metrics().batched_commands;
+    result.batch_timeout_flushes += rep->metrics().batch_timeout_flushes;
+    result.pipeline_stalls += rep->metrics().pipeline_stalls;
+    if (config.protocol == Protocol::kPigPaxos) {
+      const auto* pig =
+          static_cast<const pigpaxos::PigPaxosReplica*>(actor);
+      result.relay_timeouts += pig->relay_metrics().relay_timeouts;
+      result.relay_early_batches += pig->relay_metrics().early_batches;
+      result.relays_suspected += pig->relay_metrics().relays_suspected;
+      result.reshuffles += pig->relay_metrics().reshuffles;
+      result.uplink_bundles += pig->relay_metrics().uplink_bundles;
+      result.uplink_coalesced += pig->relay_metrics().uplink_coalesced;
+    } else if (config.protocol == Protocol::kRing) {
+      const auto* ring = static_cast<const baselines::RingReplica*>(actor);
+      result.ring_rounds_completed += ring->ring_metrics().rounds_completed;
+      result.ring_timeouts += ring->ring_metrics().ring_timeouts;
+      result.ring_fallback_fanouts += ring->ring_metrics().fallback_fanouts;
+    }
+  };
   for (NodeId id = 0; id < config.num_replicas; ++id) {
     const net::TrafficStats& s = cluster.network().StatsFor(id);
     result.msgs_per_request.push_back(
@@ -177,33 +230,19 @@ RunResult RunExperiment(const ExperimentConfig& config) {
     result.cpu_utilization.push_back(
         cluster.CpuUtilization(id, config.measure));
     if (config.protocol != Protocol::kEPaxos) {
-      const auto* rep =
-          static_cast<const paxos::PaxosReplica*>(cluster.actor(id));
-      result.elections_started += rep->metrics().elections_started;
-      result.propose_retries += rep->metrics().propose_retries;
-      result.log_syncs += rep->metrics().log_syncs;
-      result.batches_proposed += rep->metrics().batches_proposed;
-      result.batched_commands += rep->metrics().batched_commands;
-      result.batch_timeout_flushes += rep->metrics().batch_timeout_flushes;
-      result.pipeline_stalls += rep->metrics().pipeline_stalls;
-      if (config.protocol == Protocol::kPigPaxos) {
-        const auto* pig =
-            static_cast<const pigpaxos::PigPaxosReplica*>(cluster.actor(id));
-        result.relay_timeouts += pig->relay_metrics().relay_timeouts;
-        result.relay_early_batches += pig->relay_metrics().early_batches;
-        result.relays_suspected += pig->relay_metrics().relays_suspected;
-        result.reshuffles += pig->relay_metrics().reshuffles;
-        result.uplink_bundles += pig->relay_metrics().uplink_bundles;
-        result.uplink_coalesced += pig->relay_metrics().uplink_coalesced;
-      } else if (config.protocol == Protocol::kRing) {
-        const auto* ring =
-            static_cast<const baselines::RingReplica*>(cluster.actor(id));
-        result.ring_rounds_completed += ring->ring_metrics().rounds_completed;
-        result.ring_timeouts += ring->ring_metrics().ring_timeouts;
-        result.ring_fallback_fanouts += ring->ring_metrics().fallback_fanouts;
+      if (num_groups > 1) {
+        const auto* node =
+            static_cast<const shard::ShardedNode*>(cluster.actor(id));
+        for (size_t g = 0; g < node->num_groups(); ++g) {
+          accumulate_counters(node->group_actor(g));
+        }
+      } else {
+        accumulate_counters(cluster.actor(id));
       }
     }
   }
+  result.per_group_completed = recorder->per_group_completed();
+  result.per_group_completed.resize(num_groups, 0);
   result.stale_replies = recorder->stale_replies();
   if (result.batches_proposed > 0) {
     result.mean_batch_size =

@@ -34,6 +34,21 @@ struct ExperimentConfig {
   size_t num_clients = 20;
   client::WorkloadConfig workload;
 
+  // --- Sharding ---------------------------------------------------------
+  /// Independent consensus groups hash-partitioning the keyspace
+  /// (shard/). 1 = classic single-group run, byte-identical to the
+  /// pre-sharding harness. With > 1, every node hosts one replica per
+  /// group (shard::ShardedNode) and group g bootstraps its leader on
+  /// node g % num_replicas so leader load spreads across the cluster.
+  /// Only Paxos and PigPaxos support sharded runs.
+  size_t num_groups = 1;
+
+  /// Pin client i's whole workload to group i % num_groups (sharded
+  /// runs only). Isolation experiments use this: closed-loop clients
+  /// with mixed keys head-of-line block on a crashed group's election,
+  /// which would mask the per-group independence being measured.
+  bool shard_affine_clients = false;
+
   // --- Batching + pipelining (Paxos and PigPaxos; off by default) -------
   size_t batch_size = 1;          ///< Commands per log slot (1 = off).
   TimeNs batch_timeout = 200 * kMicrosecond;  ///< Partial-batch flush.
@@ -100,6 +115,11 @@ struct RunResult {
 
   /// Per-second completion counts over the whole run (Fig. 13).
   std::vector<uint64_t> timeline;
+
+  /// In-window completions per consensus group (one entry for unsharded
+  /// runs; indexed by group id otherwise). Isolation tests compare these
+  /// across fault scenarios.
+  std::vector<uint64_t> per_group_completed;
 
   /// Messages handled (sent + received) per replica per committed
   /// request, for Table 1/2 cross-checks. Index = replica id.

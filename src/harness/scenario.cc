@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "shard/sharded_node.h"
 
 namespace pig::harness {
 
@@ -96,6 +97,28 @@ void ScheduleScenario(const ScenarioSpec& spec, const ScenarioRuntime& rt,
                 dynamic_cast<pigpaxos::PigPaxosReplica*>(c->actor(i));
             if (pig != nullptr && pig->IsLeader()) {
               pig->ReshuffleGroups();
+              return;
+            }
+          }
+        });
+        break;
+      case FaultKind::kCrashGroupLeader:
+        // The leader is resolved at fire time, not schedule time: by the
+        // time the event fires, elections may have moved the group's
+        // leadership off its bootstrap node.
+        cluster.scheduler().ScheduleAt(e.at, [c, group = e.group] {
+          for (NodeId i : c->replica_ids()) {
+            if (!c->IsAlive(i)) continue;
+            const paxos::PaxosReplica* rep = nullptr;
+            if (auto* node = dynamic_cast<shard::ShardedNode*>(c->actor(i))) {
+              if (group >= node->num_groups()) return;
+              rep = dynamic_cast<const paxos::PaxosReplica*>(
+                  node->group_actor(group));
+            } else if (group == 0) {
+              rep = dynamic_cast<const paxos::PaxosReplica*>(c->actor(i));
+            }
+            if (rep != nullptr && rep->IsLeader()) {
+              c->Crash(i);
               return;
             }
           }

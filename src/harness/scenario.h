@@ -45,6 +45,9 @@ enum class FaultKind {
   kLinkUp,         ///< Restore the directed link `node` -> `peer`.
   kReshuffle,      ///< Force a relay-group reshuffle at the current
                    ///< PigPaxos leader (no-op for other protocols).
+  kCrashGroupLeader,  ///< Crash whichever node leads consensus group
+                      ///< `group` at fire time (sharded runs; for
+                      ///< unsharded clusters group 0 = the leader).
 };
 
 /// One scripted fault at an absolute virtual time (measured from run
@@ -55,6 +58,7 @@ struct FaultEvent {
   NodeId node = kInvalidNode;  ///< crash/recover/gray/link-from.
   NodeId peer = kInvalidNode;  ///< link-to.
   std::vector<int> partition_groups;  ///< kPartition: group per replica.
+  uint32_t group = 0;  ///< kCrashGroupLeader: target consensus group.
 };
 
 // Event factories: schedules read as data tables.
@@ -104,6 +108,13 @@ inline FaultEvent ReshuffleEvent(TimeNs at) {
   FaultEvent e;
   e.at = at;
   e.kind = FaultKind::kReshuffle;
+  return e;
+}
+inline FaultEvent CrashGroupLeaderEvent(TimeNs at, uint32_t group) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrashGroupLeader;
+  e.group = group;
   return e;
 }
 

@@ -48,7 +48,7 @@ void P1a::EncodeBody(Encoder& enc) const {
 }
 
 Status P1a::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<P1a>();
+  auto m = MessagePool::Make<P1a>();
   Status s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
   if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
@@ -71,7 +71,7 @@ void P1b::EncodeBody(Encoder& enc) const {
 }
 
 Status P1b::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<P1b>();
+  auto m = MessagePool::Make<P1b>();
   Status s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
@@ -149,7 +149,7 @@ void P3::EncodeBody(Encoder& enc) const {
 }
 
 Status P3::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<P3>();
+  auto m = MessagePool::Make<P3>();
   Status s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
   if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;
@@ -171,7 +171,7 @@ void LogSyncRequest::EncodeBody(Encoder& enc) const {
 }
 
 Status LogSyncRequest::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<LogSyncRequest>();
+  auto m = MessagePool::Make<LogSyncRequest>();
   Status s;
   if (!(s = dec.GetU32(&m->sender)).ok()) return s;
   if (!(s = dec.GetI64(&m->from)).ok()) return s;
@@ -210,7 +210,7 @@ void LogSyncResponse::EncodeBody(Encoder& enc) const {
 }
 
 Status LogSyncResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
-  auto m = std::make_shared<LogSyncResponse>();
+  auto m = MessagePool::Make<LogSyncResponse>();
   Status s;
   if (!(s = Ballot::Decode(dec, &m->ballot)).ok()) return s;
   if (!(s = dec.GetI64(&m->commit_index)).ok()) return s;

@@ -26,6 +26,8 @@
 #include "pigpaxos/replica.h"
 #include "runtime/tcp_cluster.h"
 #include "runtime/thread_cluster.h"
+#include "shard/messages.h"
+#include "shard/sharded_node.h"
 
 namespace {
 
@@ -38,6 +40,8 @@ struct Args {
   std::vector<std::pair<std::string, uint16_t>> peers;
   std::string protocol = "pigpaxos";
   uint32_t relay_groups = 3;
+  /// Consensus groups sharding the keyspace (shard/); 1 = unsharded.
+  uint32_t num_groups = 1;
   int ops = 100;
   /// Client-only: pause between commands. Fault-injection runs use this
   /// to stretch the workload across a scripted kill/restart window.
@@ -78,6 +82,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->protocol = v2;
     } else if (const char* v3 = value("--relay-groups=")) {
       args->relay_groups = static_cast<uint32_t>(std::atoi(v3));
+    } else if (const char* vg = value("--num-groups=")) {
+      args->num_groups = static_cast<uint32_t>(std::atoi(vg));
+      if (args->num_groups == 0) return false;
     } else if (const char* v4 = value("--ops=")) {
       args->ops = std::atoi(v4);
     } else if (const char* vd = value("--op-delay-ms=")) {
@@ -94,16 +101,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-std::unique_ptr<pig::Actor> MakeReplica(const Args& args) {
+std::unique_ptr<pig::Actor> MakeGroupReplica(const Args& args,
+                                             uint32_t group) {
   const size_t n = args.peers.size();
+  // Leader spreading: group g bootstraps its leader on node g % n, the
+  // same placement policy as the simulator harness (and the one a cold
+  // sharded SyncClient assumes).
+  const pig::NodeId bootstrap = static_cast<pig::NodeId>(group % n);
   if (args.protocol == "paxos") {
     pig::paxos::PaxosOptions opt;
     opt.num_replicas = n;
+    opt.bootstrap_leader = bootstrap;
     return std::make_unique<pig::paxos::PaxosReplica>(args.node_id, opt);
   }
   if (args.protocol == "pigpaxos") {
     pig::pigpaxos::PigPaxosOptions opt;
     opt.paxos.num_replicas = n;
+    opt.paxos.bootstrap_leader = bootstrap;
     opt.num_relay_groups = args.relay_groups;
     return std::make_unique<pig::pigpaxos::PigPaxosReplica>(args.node_id,
                                                             opt);
@@ -114,6 +128,21 @@ std::unique_ptr<pig::Actor> MakeReplica(const Args& args) {
     return std::make_unique<pig::epaxos::EPaxosReplica>(args.node_id, opt);
   }
   return nullptr;
+}
+
+std::unique_ptr<pig::Actor> MakeReplica(const Args& args) {
+  if (args.num_groups <= 1) return MakeGroupReplica(args, 0);
+  if (args.protocol == "epaxos") {
+    std::fprintf(stderr, "pig_node: --num-groups requires paxos/pigpaxos\n");
+    return nullptr;
+  }
+  auto node = std::make_unique<pig::shard::ShardedNode>(args.num_groups);
+  for (uint32_t g = 0; g < args.num_groups; ++g) {
+    auto replica = MakeGroupReplica(args, g);
+    if (replica == nullptr) return nullptr;
+    node->AddGroup(std::move(replica));
+  }
+  return node;
 }
 
 int RunReplica(const Args& args) {
@@ -151,8 +180,8 @@ int RunClient(const Args& args) {
   for (pig::NodeId i = 0; i < args.peers.size(); ++i) {
     cluster.AddPeer(i, args.peers[i].first, args.peers[i].second);
   }
-  auto client =
-      std::make_unique<pig::runtime::SyncClient>(args.peers.size());
+  auto client = std::make_unique<pig::runtime::SyncClient>(
+      args.peers.size(), 200 * pig::kMillisecond, args.num_groups);
   pig::runtime::SyncClient* kv = client.get();
   cluster.AddActor(pig::kFirstClientId, std::move(client), /*port=*/0);
   cluster.Start();
@@ -209,12 +238,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pig_node --node-id=N --peers=host:port,... "
                  "[--protocol=paxos|pigpaxos|epaxos] [--relay-groups=K] "
-                 "[--seed=S]\n"
+                 "[--num-groups=G] [--seed=S]\n"
                  "       pig_node --client --peers=... [--ops=N] "
-                 "[--op-delay-ms=D]\n");
+                 "[--num-groups=G] [--op-delay-ms=D]\n");
     return 2;
   }
   pig::pigpaxos::RegisterPigPaxosMessages();
   pig::epaxos::RegisterEPaxosMessages();
+  pig::shard::RegisterShardMessages();
   return args.client ? RunClient(args) : RunReplica(args);
 }

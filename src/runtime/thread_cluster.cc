@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "consensus/client_messages.h"
+#include "shard/messages.h"
 
 namespace pig::runtime {
 
@@ -110,24 +111,26 @@ void ThreadCluster::RestartNode(NodeId id, std::unique_ptr<Actor> actor) {
 // ---------------------------------------------------------------------------
 
 void SyncClient::OnMessage(NodeId from, const MessagePtr& msg) {
-  (void)from;
-  if (msg->type() != MsgType::kClientReply) return;
-  const auto& reply = static_cast<const ClientReply&>(*msg);
+  // Sharded replicas answer through ShardEnvelopes; unwrap transparently
+  // so the waiting Execute sees a plain reply either way.
+  const Message* payload = msg.get();
+  MessagePtr inner;
+  if (msg->type() == MsgType::kShardEnvelope) {
+    const auto& wrapped = static_cast<const shard::ShardEnvelope&>(*msg);
+    if (!wrapped.inner) return;
+    inner = wrapped.inner;
+    payload = inner.get();
+  }
+  if (payload->type() != MsgType::kClientReply) return;
+  const auto& reply = static_cast<const ClientReply&>(*payload);
   std::lock_guard<std::mutex> lock(mu_);
   if (reply.seq != seq_) return;
   have_reply_ = true;
   reply_code_ = reply.code;
   reply_value_ = reply.value;
   reply_hint_ = reply.leader_hint;
+  reply_from_ = from;
   cv_.notify_all();
-}
-
-NodeId SyncClient::NextTarget(NodeId after) const {
-  NodeId next = (after + 1) % num_replicas_;
-  if (next == suspect_ && num_replicas_ > 1) {
-    next = (next + 1) % num_replicas_;
-  }
-  return next;
 }
 
 Result<std::string> SyncClient::Execute(OpType op, const std::string& key,
@@ -147,9 +150,21 @@ Result<std::string> SyncClient::Execute(OpType op, const std::string& key,
   cmd.value = value;
   cmd.client = env_->self();
   cmd.seq = seq;
+  const uint32_t group =
+      shard::GroupOfCommand(cmd, static_cast<uint32_t>(num_groups_));
 
   for (;;) {
-    env_->Send(target_, std::make_shared<ClientRequest>(cmd));
+    NodeId target;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      target = router_.Target(group);
+    }
+    MessagePtr request = std::make_shared<ClientRequest>(cmd);
+    if (num_groups_ > 1) {
+      request = MessagePool::Make<shard::ShardEnvelope>(group,
+                                                        std::move(request));
+    }
+    env_->Send(target, std::move(request));
     std::unique_lock<std::mutex> lock(mu_);
     // Per-attempt wait; overall bounded by the deadline.
     if (!cv_.wait_until(lock,
@@ -163,33 +178,13 @@ Result<std::string> SyncClient::Execute(OpType op, const std::string& key,
       }
       // Silence means a dead or unreachable replica: suspect it and
       // re-probe the others instead of waiting on it again.
-      suspect_ = target_;
-      suspect_hint_strikes_ = 0;
-      target_ = NextTarget(target_);
+      router_.NoteSilence(group);
       continue;
     }
-    if (target_ == suspect_) {
-      suspect_ = kInvalidNode;  // it answered after all
-      suspect_hint_strikes_ = 0;
-    }
+    router_.NoteReply(group, reply_from_);
     if (reply_code_ == StatusCode::kNotLeader) {
       have_reply_ = false;
-      NodeId hint = reply_hint_;
-      if (hint != kInvalidNode && hint == suspect_) {
-        // Stale hint toward the crashed leader. Rotate — unless hints
-        // keep insisting, which means it really is back.
-        if (++suspect_hint_strikes_ >= kSuspectHintStrikes) {
-          suspect_ = kInvalidNode;
-          suspect_hint_strikes_ = 0;
-          target_ = hint;
-        } else {
-          target_ = NextTarget(target_);
-        }
-      } else if (hint != kInvalidNode) {
-        target_ = hint;
-      } else {
-        target_ = NextTarget(target_);
-      }
+      router_.NoteRedirect(group, reply_hint_);
       lock.unlock();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;

@@ -24,6 +24,7 @@
 #include "consensus/env.h"
 #include "runtime/event_loop.h"
 #include "runtime/transport.h"
+#include "shard/router.h"
 #include "statemachine/command.h"
 
 namespace pig::runtime {
@@ -93,13 +94,25 @@ class ThreadCluster : private Transport {
 /// TcpCluster): submits one command and waits for the reply, following
 /// NotLeader redirects. Register it as an actor, then call Execute from
 /// any external thread.
+///
+/// With `num_groups` > 1 the client speaks the sharded wire dialect:
+/// each command routes to its key's consensus group (shard/router.h),
+/// travels wrapped in a ShardEnvelope, and leader discovery — including
+/// the suspect machinery for replicas that eat requests without
+/// answering, and the distrust of stale NotLeader hints pointing back at
+/// a crashed leader — is tracked independently per group.
 class SyncClient : public Actor {
  public:
   /// `attempt_timeout` bounds how long one replica gets to answer before
   /// the client re-probes another one (a crashed leader never answers).
   explicit SyncClient(size_t num_replicas,
-                      TimeNs attempt_timeout = 200 * kMillisecond)
-      : num_replicas_(num_replicas), attempt_timeout_(attempt_timeout) {}
+                      TimeNs attempt_timeout = 200 * kMillisecond,
+                      size_t num_groups = 1)
+      : num_replicas_(num_replicas),
+        num_groups_(num_groups > 0 ? num_groups : 1),
+        attempt_timeout_(attempt_timeout),
+        router_(static_cast<uint32_t>(num_groups > 0 ? num_groups : 1),
+                num_replicas > 0 ? num_replicas : 1) {}
 
   void OnMessage(NodeId from, const MessagePtr& msg) override;
 
@@ -110,20 +123,12 @@ class SyncClient : public Actor {
                               TimeNs timeout = 5 * kSecond);
 
  private:
-  /// Next replica to probe after `after`, skipping the current suspect.
-  NodeId NextTarget(NodeId after) const;
-
   size_t num_replicas_;
+  size_t num_groups_;
   TimeNs attempt_timeout_;
-  NodeId target_ = 0;
-  // A replica that ate a request without replying (crashed or
-  // partitioned). Stale NotLeader hints keep pointing at a dead leader
-  // until its successor is elected; following them forever would stall
-  // the client, so hints toward the suspect are distrusted until
-  // redirects insist (kSuspectHintStrikes) or it answers again.
-  NodeId suspect_ = kInvalidNode;
-  int suspect_hint_strikes_ = 0;
-  static constexpr int kSuspectHintStrikes = 3;
+  // Per-group leader guess + suspect/stale-hint tracking (one group when
+  // unsharded). Guarded by mu_ (Execute may be called from any thread).
+  shard::ShardRouter router_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -132,6 +137,7 @@ class SyncClient : public Actor {
   StatusCode reply_code_ = StatusCode::kOk;
   std::string reply_value_;
   NodeId reply_hint_ = kInvalidNode;
+  NodeId reply_from_ = kInvalidNode;
 };
 
 }  // namespace pig::runtime

@@ -1,0 +1,35 @@
+#include "shard/messages.h"
+
+#include <cstdio>
+
+#include "consensus/client_messages.h"
+
+namespace pig::shard {
+
+void ShardEnvelope::EncodeBody(Encoder& enc) const {
+  enc.PutU32(group);
+  EncodeNestedMessage(enc, *inner);
+}
+
+Status ShardEnvelope::DecodeBody(Decoder& dec, MessagePtr* out) {
+  auto m = MessagePool::Make<ShardEnvelope>();
+  Status s;
+  if (!(s = dec.GetU32(&m->group)).ok()) return s;
+  if (!(s = DecodeNestedMessage(dec, &m->inner)).ok()) return s;
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+std::string ShardEnvelope::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ShardEnvelope{group=%u, inner=%s}", group,
+                inner ? inner->DebugString().c_str() : "null");
+  return buf;
+}
+
+void RegisterShardMessages() {
+  pig::RegisterCommonMessages();
+  RegisterMessageDecoder(MsgType::kShardEnvelope, &ShardEnvelope::DecodeBody);
+}
+
+}  // namespace pig::shard

@@ -1,0 +1,46 @@
+// Multi-group sharding envelope.
+//
+// When a cluster hosts several independent consensus groups on the same
+// set of nodes (shard/sharded_node.h), every protocol message crossing
+// the wire is wrapped in a ShardEnvelope carrying the group id, so the
+// receiving node can dispatch it to the right group's replica — and so
+// client replies route back to the per-group request that produced them.
+// Single-group deployments never see an envelope; the wrapping is only
+// active when num_groups > 1.
+#pragma once
+
+#include <string>
+
+#include "consensus/message.h"
+
+namespace pig::shard {
+
+using pig::Decoder;
+using pig::Encoder;
+using pig::Message;
+using pig::MessagePtr;
+using pig::MsgType;
+using pig::Status;
+
+/// Wraps one protocol message with the consensus group it belongs to.
+struct ShardEnvelope final : Message {
+  ShardEnvelope() = default;
+  ShardEnvelope(uint32_t g, MessagePtr m) : group(g), inner(std::move(m)) {}
+
+  /// Consensus group id in [0, num_groups).
+  uint32_t group = 0;
+
+  /// The wrapped protocol message.
+  MessagePtr inner;
+
+  MsgType type() const override { return MsgType::kShardEnvelope; }
+  void EncodeBody(Encoder& enc) const override;
+  static Status DecodeBody(Decoder& dec, MessagePtr* out);
+  std::string DebugString() const override;
+};
+
+/// Registers the envelope decoder (plus the common client messages it
+/// typically nests).
+void RegisterShardMessages();
+
+}  // namespace pig::shard

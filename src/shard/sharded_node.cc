@@ -1,0 +1,40 @@
+#include "shard/sharded_node.h"
+
+#include <cassert>
+
+namespace pig::shard {
+
+ShardedNode::ShardedNode(size_t num_groups) { groups_.reserve(num_groups); }
+
+ShardedNode::~ShardedNode() = default;
+
+void ShardedNode::AddGroup(std::unique_ptr<Actor> replica) {
+  Group g;
+  g.replica = std::move(replica);
+  g.env = std::make_unique<GroupEnv>(this,
+                                     static_cast<uint32_t>(groups_.size()));
+  groups_.push_back(std::move(g));
+}
+
+void ShardedNode::OnStart() {
+  assert(env() != nullptr);
+  // Each group gets its own deterministic stream forked off the node's;
+  // a recovered node re-forks, which is fine — determinism only requires
+  // identical runs to fork identically.
+  for (Group& g : groups_) {
+    g.env->SeedRng(env()->rng().Fork());
+    g.replica->Bind(g.env.get());
+    g.replica->OnStart();
+  }
+}
+
+void ShardedNode::OnMessage(NodeId from, const MessagePtr& msg) {
+  // Everything between sharded participants travels enveloped; anything
+  // else is dropped, consistent with the fail-silent network model.
+  if (msg->type() != MsgType::kShardEnvelope) return;
+  const auto& wrapped = static_cast<const ShardEnvelope&>(*msg);
+  if (wrapped.group >= groups_.size() || !wrapped.inner) return;
+  groups_[wrapped.group].replica->OnMessage(from, wrapped.inner);
+}
+
+}  // namespace pig::shard

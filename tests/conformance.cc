@@ -9,6 +9,9 @@
 #include "baselines/ring_replica.h"
 #include "harness/scenario.h"
 #include "linearizability.h"
+#include "shard/messages.h"
+#include "shard/router.h"
+#include "shard/sharded_node.h"
 #include "statemachine/batch.h"
 #include "test_util.h"
 
@@ -29,9 +32,15 @@ class HistoryClient : public Actor {
     double read_ratio = 0.5;
     TimeNs request_timeout = 250 * kMillisecond;
     uint32_t index = 0;
+    uint32_t num_groups = 1;
   };
 
-  explicit HistoryClient(Config cfg) : cfg_(cfg) {}
+  explicit HistoryClient(Config cfg) : cfg_(cfg) {
+    if (cfg_.num_groups > 1) {
+      router_ = std::make_unique<shard::ShardRouter>(cfg_.num_groups,
+                                                     cfg_.num_replicas);
+    }
+  }
 
   void OnStart() override {
     target_ = 0;
@@ -41,12 +50,24 @@ class HistoryClient : public Actor {
   }
 
   void OnMessage(NodeId from, const MessagePtr& msg) override {
-    (void)from;
-    if (msg->type() != MsgType::kClientReply) return;
-    const auto& r = static_cast<const ClientReply&>(*msg);
+    const Message* payload = msg.get();
+    MessagePtr inner;  // keeps an unwrapped payload alive past `msg`
+    if (router_ != nullptr) {
+      // Sharded replicas answer through ShardEnvelopes only.
+      if (msg->type() != MsgType::kShardEnvelope) return;
+      const auto& env = static_cast<const shard::ShardEnvelope&>(*msg);
+      if (env.inner == nullptr || env.group >= cfg_.num_groups) return;
+      inner = env.inner;
+      payload = inner.get();
+      router_->NoteReply(env.group, from);
+    }
+    if (payload->type() != MsgType::kClientReply) return;
+    const auto& r = static_cast<const ClientReply&>(*payload);
     if (r.seq != seq_) return;  // stale duplicate for a completed request
     if (r.code == StatusCode::kNotLeader) {
-      if (r.leader_hint != kInvalidNode && r.leader_hint != target_) {
+      if (router_ != nullptr) {
+        router_->NoteRedirect(current_group_, r.leader_hint);
+      } else if (r.leader_hint != kInvalidNode && r.leader_hint != target_) {
         target_ = r.leader_hint;
       } else {
         target_ = (target_ + 1) % cfg_.num_replicas;
@@ -94,15 +115,29 @@ class HistoryClient : public Actor {
           env_->self(), seq_);
     }
     invoked_at_ = env_->Now();
+    if (router_ != nullptr) {
+      current_group_ = shard::GroupOfCommand(current_, cfg_.num_groups);
+    }
     SendCurrent();
   }
 
   void SendCurrent() {
     if (stopped_) return;
-    env_->Send(target_, std::make_shared<ClientRequest>(current_));
+    if (router_ != nullptr) {
+      env_->Send(router_->Target(current_group_),
+                 std::make_shared<shard::ShardEnvelope>(
+                     current_group_,
+                     std::make_shared<ClientRequest>(current_)));
+    } else {
+      env_->Send(target_, std::make_shared<ClientRequest>(current_));
+    }
     env_->SetTimer(cfg_.request_timeout, [this, s = seq_]() {
       if (s != seq_) return;  // completed in the meantime
-      target_ = (target_ + 1) % cfg_.num_replicas;
+      if (router_ != nullptr) {
+        router_->NoteSilence(current_group_);
+      } else {
+        target_ = (target_ + 1) % cfg_.num_replicas;
+      }
       SendCurrent();
     });
   }
@@ -112,6 +147,8 @@ class HistoryClient : public Actor {
   Command current_;
   TimeNs invoked_at_ = 0;
   NodeId target_ = 0;
+  std::unique_ptr<shard::ShardRouter> router_;  // sharded mode only
+  uint32_t current_group_ = 0;
   bool backoff_pending_ = false;
   bool stopped_ = false;
 };
@@ -136,6 +173,27 @@ paxos::PaxosOptions MakePaxosOptions(const ConformanceConfig& cfg,
   return popt;
 }
 
+pigpaxos::PigPaxosOptions MakePigOptions(const ConformanceConfig& cfg,
+                                         bool inject_fault) {
+  pigpaxos::PigPaxosOptions opt;
+  opt.paxos = MakePaxosOptions(cfg, inject_fault);
+  opt.num_relay_groups = cfg.relay_groups;
+  opt.group_overlap = cfg.group_overlap;
+  opt.relay_timeout = 20 * kMillisecond;
+  opt.uplink_coalesce_max = cfg.uplink_coalesce_max;
+  opt.relay_layers = static_cast<uint32_t>(cfg.relay_layers);
+  opt.reshuffle_interval = cfg.reshuffle_interval;
+  if (cfg.scenario.topology == harness::Topology::kWanVaCaOr) {
+    // One relay group per region (§6.4), as the harness does for WAN.
+    opt.grouping = pigpaxos::GroupingStrategy::kRegion;
+    const size_t n = cfg.num_replicas;
+    opt.region_of = [n](NodeId node) {
+      return harness::WanRegionOfNode(node, n);
+    };
+  }
+  return opt;
+}
+
 void AddReplicas(sim::Cluster& cluster, const ConformanceConfig& cfg,
                  bool inject_fault) {
   if (cfg.use_ring) {
@@ -144,23 +202,29 @@ void AddReplicas(sim::Cluster& cluster, const ConformanceConfig& cfg,
     for (NodeId i = 0; i < cfg.num_replicas; ++i) {
       cluster.AddReplica(i, std::make_unique<baselines::RingReplica>(i, opt));
     }
-  } else if (cfg.use_pig) {
-    pigpaxos::PigPaxosOptions opt;
-    opt.paxos = MakePaxosOptions(cfg, inject_fault);
-    opt.num_relay_groups = cfg.relay_groups;
-    opt.group_overlap = cfg.group_overlap;
-    opt.relay_timeout = 20 * kMillisecond;
-    opt.uplink_coalesce_max = cfg.uplink_coalesce_max;
-    opt.relay_layers = static_cast<uint32_t>(cfg.relay_layers);
-    opt.reshuffle_interval = cfg.reshuffle_interval;
-    if (cfg.scenario.topology == harness::Topology::kWanVaCaOr) {
-      // One relay group per region (§6.4), as the harness does for WAN.
-      opt.grouping = pigpaxos::GroupingStrategy::kRegion;
-      const size_t n = cfg.num_replicas;
-      opt.region_of = [n](NodeId node) {
-        return harness::WanRegionOfNode(node, n);
-      };
+  } else if (cfg.num_groups > 1) {
+    // Sharded: every node hosts one replica per consensus group; group g
+    // bootstraps its leader on node g % n so leader load spreads.
+    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+      auto node = std::make_unique<shard::ShardedNode>(cfg.num_groups);
+      for (uint32_t g = 0; g < cfg.num_groups; ++g) {
+        const NodeId bootstrap =
+            static_cast<NodeId>(g % cfg.num_replicas);
+        if (cfg.use_pig) {
+          pigpaxos::PigPaxosOptions opt = MakePigOptions(cfg, inject_fault);
+          opt.paxos.bootstrap_leader = bootstrap;
+          node->AddGroup(
+              std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
+        } else {
+          paxos::PaxosOptions opt = MakePaxosOptions(cfg, inject_fault);
+          opt.bootstrap_leader = bootstrap;
+          node->AddGroup(std::make_unique<paxos::PaxosReplica>(i, opt));
+        }
+      }
+      cluster.AddReplica(i, std::move(node));
     }
+  } else if (cfg.use_pig) {
+    pigpaxos::PigPaxosOptions opt = MakePigOptions(cfg, inject_fault);
     for (NodeId i = 0; i < cfg.num_replicas; ++i) {
       cluster.AddReplica(
           i, std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
@@ -182,6 +246,7 @@ std::vector<HistoryClient*> AddClients(sim::Cluster& cluster,
     ccfg.num_keys = cfg.num_keys;
     ccfg.read_ratio = cfg.read_ratio;
     ccfg.index = i;
+    ccfg.num_groups = cfg.num_groups;
     auto owner = std::make_unique<HistoryClient>(ccfg);
     clients.push_back(owner.get());
     cluster.AddClient(sim::Cluster::MakeClientId(i), std::move(owner));
@@ -193,80 +258,139 @@ std::vector<HistoryClient*> AddClients(sim::Cluster& cluster,
 // Invariant checking (shared by the randomized runs and the scripted
 // fault scenario).
 
+/// The group-g Paxos view of node `id`: the actor itself in classic
+/// runs, the hosted group replica in sharded ones.
+const paxos::PaxosReplica* GroupPaxosAt(sim::Cluster& cluster,
+                                        const ConformanceConfig& cfg,
+                                        NodeId id, uint32_t g) {
+  if (cfg.num_groups <= 1) return PaxosAt(cluster, id);
+  return static_cast<const paxos::PaxosReplica*>(
+      static_cast<shard::ShardedNode*>(cluster.actor(id))->group_actor(g));
+}
+
 std::string CheckInvariants(sim::Cluster& cluster,
                             const ConformanceConfig& cfg,
                             const std::vector<HistoryClient*>& clients,
                             ConformanceResult* result) {
   const size_t n = cfg.num_replicas;
+  const uint32_t groups = cfg.num_groups > 0 ? cfg.num_groups : 1;
   for (auto* c : clients) {
     result->completed_ops += c->history.size();
     result->acked_writes += c->acked_write_seqs.size();
   }
 
-  const NodeId leader = FindLeader(cluster, n);
-  if (leader == kInvalidNode) return "no leader after quiesce";
+  // The group-scoped invariants, once per consensus group (the classic
+  // run is the one-group special case). (client,seq) commit counts
+  // accumulate across groups: a command must commit in exactly one.
+  std::map<std::pair<NodeId, uint64_t>, int> committed;
+  for (uint32_t g = 0; g < groups; ++g) {
+    const std::string tag =
+        groups > 1 ? " (group " + std::to_string(g) + ")" : "";
 
-  // Log-prefix agreement: no slot committed differently anywhere.
-  std::string log_check = CheckLogConsistency(cluster, n);
-  if (!log_check.empty()) return "log disagreement: " + log_check;
+    NodeId leader = kInvalidNode;
+    for (NodeId i = 0; i < n; ++i) {
+      if (cluster.IsAlive(i) &&
+          GroupPaxosAt(cluster, cfg, i, g)->IsLeader()) {
+        leader = i;
+        break;
+      }
+    }
+    if (leader == kInvalidNode) return "no leader after quiesce" + tag;
 
-  // Convergence: after the quiesce every live store matches the
-  // leader's (crashed replicas legitimately lag — but their *logs* are
-  // still held to the agreement check above).
-  auto reference = PaxosAt(cluster, leader)->store().Dump();
-  for (NodeId i = 0; i < n; ++i) {
-    if (!cluster.IsAlive(i) || i == leader) continue;
-    if (PaxosAt(cluster, i)->store().Dump() != reference) {
-      return "stores diverged at replica " + std::to_string(i);
+    // Log-prefix agreement: no slot committed differently anywhere.
+    for (NodeId a = 0; a < n; ++a) {
+      const auto& la = GroupPaxosAt(cluster, cfg, a, g)->log();
+      for (NodeId b = a + 1; b < n; ++b) {
+        const auto& lb = GroupPaxosAt(cluster, cfg, b, g)->log();
+        const SlotId lo = std::max(la.first_slot(), lb.first_slot());
+        const SlotId hi = std::min(la.last_slot(), lb.last_slot());
+        for (SlotId s = lo; s <= hi; ++s) {
+          const LogEntry* ea = la.Get(s);
+          const LogEntry* eb = lb.Get(s);
+          if (ea == nullptr || eb == nullptr) continue;
+          if (ea->committed && eb->committed &&
+              !(ea->command == eb->command)) {
+            std::ostringstream msg;
+            msg << "log disagreement" << tag << ": slot " << s
+                << ": replica " << a << " committed "
+                << ea->command.DebugString() << " but replica " << b
+                << " committed " << eb->command.DebugString();
+            return msg.str();
+          }
+        }
+      }
+    }
+
+    // Convergence: after the quiesce every live store matches the
+    // leader's (crashed replicas legitimately lag — but their *logs*
+    // are still held to the agreement check above).
+    auto reference = GroupPaxosAt(cluster, cfg, leader, g)->store().Dump();
+    for (NodeId i = 0; i < n; ++i) {
+      if (!cluster.IsAlive(i) || i == leader) continue;
+      if (GroupPaxosAt(cluster, cfg, i, g)->store().Dump() != reference) {
+        return "stores diverged at replica " + std::to_string(i) + tag;
+      }
+    }
+
+    // Scan the group leader's contiguous committed prefix.
+    const auto* lead = GroupPaxosAt(cluster, cfg, leader, g);
+    const ReplicatedLog& log = lead->log();
+    const SlotId ci = log.ContiguousCommitIndex();
+    std::map<std::string, uint64_t> distinct_writes_per_key;
+    std::string membership;
+    for (SlotId s = log.first_slot(); s <= ci; ++s) {
+      const LogEntry* e = log.Get(s);
+      if (e == nullptr || !e->committed) {
+        return "hole at slot " + std::to_string(s) +
+               " inside the committed prefix" + tag;
+      }
+      ForEachCommand(e->command, [&](const Command& c) {
+        if (c.IsNoop() || c.client == kInvalidNode) return;
+        // Membership: every committed command — batch sub-commands
+        // included — must belong to the group its key hashes to.
+        if (groups > 1 && membership.empty() &&
+            shard::GroupOfKey(c.key, groups) != g) {
+          membership = "key " + c.key + " committed in group " +
+                       std::to_string(g) + " but hashes to group " +
+                       std::to_string(shard::GroupOfKey(c.key, groups));
+        }
+        int& count = committed[{c.client, c.seq}];
+        count++;
+        if (count == 1 && c.IsWrite()) distinct_writes_per_key[c.key]++;
+      });
+    }
+    if (!membership.empty()) return membership;
+    for (NodeId i = 0; i < n; ++i) {
+      result->batches_proposed +=
+          GroupPaxosAt(cluster, cfg, i, g)->metrics().batches_proposed;
+    }
+
+    // No duplicated command: a write applied twice bumps the key's
+    // version past the number of distinct committed writes; one skipped
+    // falls short. (The log may legally hold a (client,seq) in two
+    // slots after failover; execution must still be exactly-once.)
+    for (const auto& [key, writes] : distinct_writes_per_key) {
+      const uint64_t version = lead->store().VersionOf(key);
+      if (version != writes) {
+        std::ostringstream msg;
+        msg << "key " << key << ": " << writes
+            << " distinct committed writes but store version " << version
+            << " (duplicate or lost apply)" << tag;
+        return msg.str();
+      }
     }
   }
+  result->committed_commands = committed.size();
 
-  // Linearizability of the merged client-visible history.
+  // Linearizability of the merged client-visible history (sound across
+  // groups too: the keyspace partition is disjoint and every checker
+  // axiom is per-key).
   std::vector<HistoryOp> history;
   for (auto* c : clients) {
     history.insert(history.end(), c->history.begin(), c->history.end());
   }
   std::string lin = CheckLinearizability(history);
   if (!lin.empty()) return "linearizability: " + lin;
-
-  // Scan the leader's contiguous committed prefix.
-  const auto* lead = PaxosAt(cluster, leader);
-  const ReplicatedLog& log = lead->log();
-  const SlotId ci = log.ContiguousCommitIndex();
-  std::map<std::pair<NodeId, uint64_t>, int> committed;  // (client,seq)
-  std::map<std::string, uint64_t> distinct_writes_per_key;
-  for (SlotId s = log.first_slot(); s <= ci; ++s) {
-    const LogEntry* e = log.Get(s);
-    if (e == nullptr || !e->committed) {
-      return "hole at slot " + std::to_string(s) +
-             " inside the committed prefix";
-    }
-    ForEachCommand(e->command, [&](const Command& c) {
-      if (c.IsNoop() || c.client == kInvalidNode) return;
-      int& count = committed[{c.client, c.seq}];
-      count++;
-      if (count == 1 && c.IsWrite()) distinct_writes_per_key[c.key]++;
-    });
-  }
-  result->committed_commands = committed.size();
-  for (NodeId i = 0; i < n; ++i) {
-    result->batches_proposed += PaxosAt(cluster, i)->metrics().batches_proposed;
-  }
-
-  // No duplicated command: a write applied twice bumps the key's version
-  // past the number of distinct committed writes; one skipped falls
-  // short. (The log may legally hold a (client,seq) in two slots after
-  // failover; execution must still be exactly-once.)
-  for (const auto& [key, writes] : distinct_writes_per_key) {
-    const uint64_t version = lead->store().VersionOf(key);
-    if (version != writes) {
-      std::ostringstream msg;
-      msg << "key " << key << ": " << writes
-          << " distinct committed writes but store version " << version
-          << " (duplicate or lost apply)";
-      return msg.str();
-    }
-  }
 
   // No lost command: every acknowledged write is in the committed prefix.
   for (auto* c : clients) {
@@ -361,8 +485,18 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
       } else if (dice < 85) {
         NodeId who = static_cast<NodeId>(chaos.NextBounded(n));
         if (!down[who]) {
-          static_cast<paxos::PaxosReplica*>(cluster.actor(who))
-              ->TriggerElection();
+          if (cfg.num_groups > 1) {
+            // Churn one random group's leadership; the others must ride
+            // through untouched.
+            auto* node =
+                static_cast<shard::ShardedNode*>(cluster.actor(who));
+            const size_t g = chaos.NextBounded(cfg.num_groups);
+            static_cast<paxos::PaxosReplica*>(node->group_actor(g))
+                ->TriggerElection();
+          } else {
+            static_cast<paxos::PaxosReplica*>(cluster.actor(who))
+                ->TriggerElection();
+          }
         }
       }  // else: a calm round
       cluster.RunFor(cfg.round_length);

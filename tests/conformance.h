@@ -40,6 +40,14 @@ struct ConformanceConfig {
   size_t num_keys = 8;
   double read_ratio = 0.5;
 
+  /// Consensus groups hash-partitioning the keyspace (shard/). 1 = the
+  /// classic single-group run. With > 1 every node hosts one replica
+  /// per group (shard::ShardedNode), clients route commands by key
+  /// through a ShardRouter, and the invariant set runs per group — plus
+  /// a membership check that every committed command landed in the
+  /// group its key hashes to.
+  uint32_t num_groups = 1;
+
   // Batching / pipelining (1/1 = engine off).
   size_t batch_size = 1;
   size_t pipeline_depth = 1;

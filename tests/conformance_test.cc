@@ -70,6 +70,27 @@ std::vector<ConformanceConfig> BuildMatrix() {
   add_ring("RingBaseline",       1,   1,    0, 0, 0.00);
   add_ring("RingBatch4Depth4",   4,   4,    0, 0, 0.00);
   add_ring("RingFlexQDrop",      4,   4,    4, 2, 0.02);
+  // Sharded multi-group rows (shard/): 4 consensus groups hash-partition
+  // the keyspace across the same 5 nodes; every invariant runs per
+  // group, plus the membership check that each committed command —
+  // batch sub-commands included — landed in the group its key hashes
+  // to. More keys than default so all 4 groups see traffic.
+  auto add_sharded = [&](const char* name, bool pig, size_t batch,
+                         size_t depth, uint32_t groups, double drop) {
+    ConformanceConfig c;
+    c.name = name;
+    c.use_pig = pig;
+    c.num_groups = groups;
+    c.num_keys = 16;
+    c.batch_size = batch;
+    c.pipeline_depth = depth;
+    c.relay_groups = 2;
+    c.drop_probability = drop;
+    configs.push_back(c);
+  };
+  //          name                     pig  batch depth groups drop
+  add_sharded("ShardedPig4Groups",     true,  4,   4,    4,   0.00);
+  add_sharded("ShardedPaxos4GroupsDrop", false, 1, 1,    4,   0.02);
   return configs;
 }
 
@@ -78,7 +99,7 @@ size_t SeedsPerConfig() {
     const long v = std::atol(env);
     if (v > 0) return static_cast<size_t>(v);
   }
-  // 15 seeds x 14 configs = 210 randomized schedules per full run.
+  // 15 seeds x 19 configs = 285 randomized schedules per full run.
   return 15;
 }
 

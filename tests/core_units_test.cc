@@ -256,6 +256,60 @@ TEST(WorkloadTest, UniformKeyDistribution) {
   }
 }
 
+TEST(WorkloadTest, ZipfThetaZeroKeepsUniformDrawSequence) {
+  // theta = 0 must consume the Rng exactly like the historical uniform
+  // path: one NextBounded(num_keys) for the key, one NextDouble for the
+  // read/write coin. A parallel Rng with the same seed replays it.
+  client::WorkloadConfig cfg;
+  cfg.zipf_theta = 0.0;
+  client::WorkloadGenerator gen(cfg);
+  Rng rng(11);
+  Rng shadow(11);
+  for (int i = 0; i < 200; ++i) {
+    Command cmd = gen.Next(kFirstClientId, i + 1, rng);
+    const std::string want_key = gen.KeyAt(shadow.NextBounded(cfg.num_keys));
+    const bool want_read = shadow.NextDouble() < cfg.read_ratio;
+    EXPECT_EQ(cmd.key, want_key);
+    EXPECT_EQ(cmd.op == OpType::kGet, want_read);
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardLowIndices) {
+  client::WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.zipf_theta = 0.99;  // YCSB's hot-key default
+  client::WorkloadGenerator gen(cfg);
+  Rng rng(12);
+  std::map<std::string, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    Command cmd = gen.Next(1, i, rng);
+    ASSERT_EQ(cmd.key.size(), 8u);
+    counts[cmd.key]++;
+  }
+  // Rank 0 is the hottest key: ~1/zeta_n of all draws (~13% at
+  // theta=0.99, n=1000) versus 0.1% under the uniform distribution.
+  const double hot = static_cast<double>(counts[gen.KeyAt(0)]) / n;
+  EXPECT_GT(hot, 0.08);
+  EXPECT_GT(counts[gen.KeyAt(0)], counts[gen.KeyAt(10)]);
+  EXPECT_GT(counts[gen.KeyAt(0)], counts[gen.KeyAt(500)]);
+}
+
+TEST(WorkloadTest, ZipfDrawsAreDeterministic) {
+  client::WorkloadConfig cfg;
+  cfg.zipf_theta = 0.7;
+  client::WorkloadGenerator a(cfg);
+  client::WorkloadGenerator b(cfg);
+  Rng ra(13);
+  Rng rb(13);
+  for (int i = 0; i < 500; ++i) {
+    Command ca = a.Next(kFirstClientId, i + 1, ra);
+    Command cb = b.Next(kFirstClientId, i + 1, rb);
+    EXPECT_EQ(ca.key, cb.key);
+    EXPECT_EQ(ca.op, cb.op);
+  }
+}
+
 // --- Analytical model (paper §6.1, Tables 1-2) -------------------------
 
 TEST(ModelTest, Table1Values) {

@@ -7,7 +7,11 @@
 //     capacity, allocating nothing after warm-up;
 //   * MessagePool recycles a released message's heap block, so acquiring
 //     the same type again allocates nothing (skipped under sanitizers,
-//     where the pool is deliberately pass-through).
+//     where the pool is deliberately pass-through);
+//   * the decode side: parsing a steady-state round's wire bytes —
+//     envelopes, nested payloads and all — constructs every message
+//     through the pool's recycled blocks, allocating nothing after
+//     warm-up (the per-type free lists are the "decode arena").
 //
 // The hook counts every operator-new in the process, so each assertion
 // brackets exactly the operation under test and compares raw counter
@@ -19,9 +23,11 @@
 #include <new>
 #include <vector>
 
+#include "consensus/client_messages.h"
 #include "consensus/message.h"
 #include "paxos/messages.h"
 #include "pigpaxos/messages.h"
+#include "shard/messages.h"
 
 namespace {
 std::atomic<uint64_t> g_allocations{0};
@@ -182,6 +188,45 @@ TEST(MessageAllocTest, RelayEnvelopeListsSpillBeyondInlineCapacity) {
   EXPECT_GT(after - before, 0u);
   EXPECT_EQ(req.members.size(), pigpaxos::kRelayInlineCapacity + 1);
   EXPECT_EQ(req.members.back(), 99u);
+}
+
+TEST(MessageAllocTest, SteadyStateDecodeAllocatesNothing) {
+  if (!MessagePool::enabled()) {
+    GTEST_SKIP() << "pool is pass-through in sanitizer builds";
+  }
+  pigpaxos::RegisterPigPaxosMessages();
+  shard::RegisterShardMessages();
+
+  // Wire images of one steady-state round: a fan-out envelope with its
+  // nested P2a, the aggregated vote envelope with three nested P2bs, and
+  // a sharded client request (envelope + ClientRequest). Keys and values
+  // are short enough for SSO — long values would rightly allocate.
+  Fig7Round round = MakeFig7Round(8);
+  auto request = std::make_shared<ClientRequest>(
+      Command::Put("key00042", "value-00042", kFirstClientId, 9));
+  const shard::ShardEnvelope envelope(3, request);
+  const std::vector<uint8_t> req_wire = EncodeMessage(*round.relay_req);
+  const std::vector<uint8_t> resp_wire = EncodeMessage(*round.relay_resp);
+  const std::vector<uint8_t> env_wire = EncodeMessage(envelope);
+
+  // Warm-up decode primes each type's free list (envelope and nested
+  // payloads alike); dropping the results releases the blocks back.
+  {
+    MessagePtr a, b, c;
+    ASSERT_TRUE(DecodeMessage(req_wire, &a).ok());
+    ASSERT_TRUE(DecodeMessage(resp_wire, &b).ok());
+    ASSERT_TRUE(DecodeMessage(env_wire, &c).ok());
+  }
+
+  const uint64_t before = Allocations();
+  {
+    MessagePtr a, b, c;
+    (void)DecodeMessage(req_wire, &a);
+    (void)DecodeMessage(resp_wire, &b);
+    (void)DecodeMessage(env_wire, &c);
+  }
+  const uint64_t after = Allocations();
+  EXPECT_EQ(after - before, 0u) << "steady-state decode hit the heap";
 }
 
 TEST(MessageAllocTest, MessagePoolRecyclesSteadyState) {

@@ -1,0 +1,172 @@
+// Shard routing tests (shard/router.h).
+//
+// The golden-value tests pin the stable key hash: the key -> group
+// mapping is part of the deployment contract (re-partitioning live data
+// on a refactor would be catastrophic), so these values must NEVER
+// change. The rest covers the partition function's invariants (every
+// key owned by exactly one group, batches are group-pure) and the
+// per-group leader tracker's suspect machinery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "shard/router.h"
+#include "statemachine/batch.h"
+
+namespace pig::shard {
+namespace {
+
+// --- Stable hash goldens ----------------------------------------------
+
+TEST(StableKeyHashTest, GoldenValuesNeverDrift) {
+  // Independently computed FNV-1a/64 reference values. A failure here
+  // means the partition function changed — that is a data-loss bug, not
+  // a test to update.
+  EXPECT_EQ(StableKeyHash(""), 14695981039346656037ull);
+  EXPECT_EQ(StableKeyHash("a"), 12638187200555641996ull);
+  EXPECT_EQ(StableKeyHash("k0000007"), 4208194172389020247ull);
+  EXPECT_EQ(StableKeyHash("key00042"), 5800627749162125718ull);
+  EXPECT_EQ(StableKeyHash("pig"), 8624233966051786607ull);
+  EXPECT_EQ(StableKeyHash("tcp-k00001"), 11936455342406183855ull);
+}
+
+TEST(StableKeyHashTest, GoldenGroupAssignments) {
+  // The derived group ids for the workload's key shapes, at the two
+  // group counts the bench gate pins.
+  EXPECT_EQ(GroupOfKey("k0000007", 4), 3u);
+  EXPECT_EQ(GroupOfKey("key00042", 4), 2u);
+  EXPECT_EQ(GroupOfKey("pig", 4), 3u);
+  EXPECT_EQ(GroupOfKey("k0000007", 16), 7u);
+  EXPECT_EQ(GroupOfKey("key00042", 16), 6u);
+  EXPECT_EQ(GroupOfKey("tcp-k00001", 16), 15u);
+}
+
+// --- Partition invariants ---------------------------------------------
+
+TEST(GroupOfKeyTest, EveryKeyOwnedByExactlyOneGroupInRange) {
+  for (uint32_t groups : {2u, 3u, 4u, 16u}) {
+    std::map<uint32_t, int> hit;
+    for (int i = 0; i < 1000; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      const uint32_t g = GroupOfKey(key, groups);
+      ASSERT_LT(g, groups) << key;
+      // Same key, same answer — routing is a pure function.
+      ASSERT_EQ(GroupOfKey(key, groups), g) << key;
+      hit[g]++;
+    }
+    // With 1000 keys every group must own a reasonable share; a hash
+    // that collapsed onto few groups would break the scaling story.
+    ASSERT_EQ(hit.size(), groups);
+    for (const auto& [g, count] : hit) {
+      EXPECT_GT(count, static_cast<int>(250 / groups)) << "group " << g;
+    }
+  }
+}
+
+TEST(GroupOfKeyTest, SingleGroupShortCircuits) {
+  EXPECT_EQ(GroupOfKey("anything", 1), 0u);
+  EXPECT_EQ(GroupOfKey("anything", 0), 0u);
+}
+
+TEST(GroupOfCommandTest, PlainCommandsRouteByKey) {
+  Command put = Command::Put("key00042", "v", kFirstClientId, 1);
+  Command get = Command::Get("key00042", kFirstClientId, 2);
+  EXPECT_EQ(GroupOfCommand(put, 4), GroupOfKey("key00042", 4));
+  EXPECT_EQ(GroupOfCommand(get, 4), GroupOfKey("key00042", 4));
+  // Key-less noops belong to group 0 by convention.
+  EXPECT_EQ(GroupOfCommand(Command::Noop(), 4), 0u);
+}
+
+TEST(GroupOfCommandTest, BatchesAreGroupPure) {
+  // Batches are assembled inside one group's leader, so every
+  // sub-command shares the first one's group. Build a batch from keys
+  // that all hash to the same group and check the carrier follows.
+  const uint32_t groups = 4;
+  std::vector<Command> same_group;
+  uint32_t want = 0;
+  for (int i = 0; same_group.size() < 3; ++i) {
+    const std::string key = "batch-key-" + std::to_string(i);
+    const uint32_t g = GroupOfKey(key, groups);
+    if (same_group.empty()) want = g;
+    if (g != want) continue;
+    same_group.push_back(
+        Command::Put(key, "v", kFirstClientId, same_group.size() + 1));
+  }
+  Command batch = BatchCommand::Wrap(same_group);
+  ASSERT_TRUE(batch.IsBatch());
+  EXPECT_EQ(GroupOfCommand(batch, groups), want);
+  for (const Command& sub : batch.batch) {
+    EXPECT_EQ(GroupOfCommand(sub, groups), want) << sub.key;
+  }
+}
+
+// --- ShardRouter leader tracking --------------------------------------
+
+TEST(ShardRouterTest, InitialTargetsMirrorLeaderPlacement) {
+  // Group g bootstraps its leader on node g % n; a cold router must
+  // guess exactly that, for every group.
+  ShardRouter router(6, 4);
+  EXPECT_EQ(router.num_groups(), 6u);
+  EXPECT_EQ(router.Target(0), 0u);
+  EXPECT_EQ(router.Target(1), 1u);
+  EXPECT_EQ(router.Target(3), 3u);
+  EXPECT_EQ(router.Target(4), 0u);  // wraps at num_replicas
+  EXPECT_EQ(router.Target(5), 1u);
+}
+
+TEST(ShardRouterTest, SilenceSuspectsAndRotates) {
+  ShardRouter router(2, 5);
+  ASSERT_EQ(router.Target(1), 1u);
+  router.NoteSilence(1);
+  EXPECT_EQ(router.Target(1), 2u);  // probes the next replica
+  // The suspect is skipped while rotating past it.
+  router.NoteSilence(1);            // now 2 is suspect too (replaces 1)
+  EXPECT_EQ(router.Target(1), 3u);
+  // Group 0's state is untouched — tracking is fully per-group.
+  EXPECT_EQ(router.Target(0), 0u);
+}
+
+TEST(ShardRouterTest, RedirectFollowsFreshHint) {
+  ShardRouter router(1, 5);
+  router.NoteRedirect(0, 3);
+  EXPECT_EQ(router.Target(0), 3u);
+  // A hint-less redirect rotates.
+  router.NoteRedirect(0, kInvalidNode);
+  EXPECT_EQ(router.Target(0), 4u);
+}
+
+TEST(ShardRouterTest, StaleHintTowardSuspectNeedsStrikes) {
+  ShardRouter router(1, 5);
+  router.NoteSilence(0);  // node 0 suspected, target moves to 1
+  ASSERT_EQ(router.Target(0), 1u);
+  // Followers keep hinting at the crashed ex-leader; the router
+  // distrusts the hint and keeps probing, skipping the suspect...
+  router.NoteRedirect(0, 0);
+  EXPECT_EQ(router.Target(0), 2u);
+  router.NoteRedirect(0, 0);
+  EXPECT_EQ(router.Target(0), 3u);
+  // ...until the strikes threshold says the hint really means it.
+  router.NoteRedirect(0, 0);
+  EXPECT_EQ(router.Target(0), 0u);
+}
+
+TEST(ShardRouterTest, ReplyFromSuspectClearsSuspicion) {
+  ShardRouter router(1, 3);
+  router.NoteSilence(0);  // suspect node 0
+  router.NoteReply(0, 0);  // it answered after all
+  // With suspicion cleared a hint back to node 0 is followed at once.
+  router.NoteRedirect(0, 0);
+  EXPECT_EQ(router.Target(0), 0u);
+}
+
+TEST(ShardRouterTest, GroupOfMatchesFreeFunction) {
+  ShardRouter router(8, 3);
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(router.GroupOf(key), GroupOfKey(key, 8));
+  }
+}
+
+}  // namespace
+}  // namespace pig::shard

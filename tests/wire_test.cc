@@ -15,6 +15,7 @@
 #include "paxos/messages.h"
 #include "paxos/quorum_reads.h"
 #include "pigpaxos/messages.h"
+#include "shard/messages.h"
 
 namespace pig {
 namespace {
@@ -28,6 +29,7 @@ class WireTest : public ::testing::Test {
     epaxos::RegisterEPaxosMessages();
     baselines::RegisterRingMessages();
     net::RegisterFrameMessages();
+    shard::RegisterShardMessages();
   }
 
   /// Encodes, decodes, re-encodes and requires byte-identical output.
@@ -429,6 +431,36 @@ TEST_F(WireTest, RelayBundleRoundTrip) {
             StatusCode::kCorruption);
 }
 
+TEST_F(WireTest, ShardEnvelopeRoundTrip) {
+  shard::ShardEnvelope env(
+      7, std::make_shared<ClientRequest>(
+             Command::Put("key", "value", kFirstClientId, 3)));
+  auto out = RoundTrip(env);
+  ASSERT_NE(out, nullptr);
+  const auto& got = static_cast<const shard::ShardEnvelope&>(*out);
+  EXPECT_EQ(got.group, 7u);
+  ASSERT_NE(got.inner, nullptr);
+  EXPECT_EQ(got.inner->type(), MsgType::kClientRequest);
+  EXPECT_EQ(static_cast<const ClientRequest&>(*got.inner).cmd.key, "key");
+  CheckTruncations(env);
+
+  // Envelopes nest any registered protocol message, relay fan-outs
+  // included (the whole point: per-group relay trees ride unchanged).
+  auto inner = std::make_shared<pigpaxos::RelayRequest>();
+  inner->relay_id = 5;
+  inner->origin = 0;
+  inner->members = {1, 2};
+  auto p3 = std::make_shared<paxos::P3>();
+  p3->ballot = Ballot(1, 0);
+  p3->commit_index = 4;
+  inner->inner = p3;
+  shard::ShardEnvelope relay_env(2, inner);
+  auto out2 = RoundTrip(relay_env);
+  ASSERT_NE(out2, nullptr);
+  const auto& got2 = static_cast<const shard::ShardEnvelope&>(*out2);
+  EXPECT_EQ(got2.inner->type(), MsgType::kRelayRequest);
+}
+
 TEST_F(WireTest, LogSyncClientRecordsRoundTrip) {
   paxos::LogSyncResponse resp;
   resp.ballot = Ballot(3, 2);
@@ -608,6 +640,9 @@ std::map<MsgType, MessagePtr> ExemplarMessages() {
   auto hello = std::make_shared<net::NodeHello>();
   hello->sender = kFirstClientId + 2;
   add(hello);
+
+  add(std::make_shared<shard::ShardEnvelope>(
+      3, out.at(MsgType::kClientRequest)));
 
   return out;
 }
