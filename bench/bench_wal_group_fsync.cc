@@ -1,0 +1,91 @@
+// WAL group-commit bench (durability PR).
+//
+// The durability design hinges on one claim: a batch window needs ONE
+// durability barrier, not one per command — Append() only buffers, and a
+// single Sync() (one fdatasync in FileStorage) covers every record
+// appended since the previous barrier. This bench appends fig8-shaped
+// accept records to a real FileStorage in windows of {1, 16} and issues
+// one Sync per window.
+//
+// items/second shows the group-commit throughput win on a real disk, but
+// it is NOT the gated number: fsync latency on shared CI runners swings
+// wildly with the backing store. The gate (scripts/bench_gate.py) pins
+// the records_per_sync counter instead — appended_records / syncs as
+// reported by the storage layer itself, exactly `window` when group
+// commit works and ~1 if a regression starts syncing per append. The
+// counter is deterministic, so the comparison has no tolerance, and a
+// cross-row ratio floor requires window:16 to amortize >= 8 records per
+// barrier.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "consensus/ballot.h"
+#include "statemachine/command.h"
+#include "storage/file_storage.h"
+
+namespace pig {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh data directory per benchmark run (repetitions must not replay
+/// each other's tails: reopening an existing WAL is a different workload).
+fs::path FreshDir() {
+  static std::atomic<uint64_t> counter{0};
+  fs::path dir = fs::temp_directory_path() /
+                 ("pig_bench_wal_" + std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  return dir;
+}
+
+void BM_WalGroupFsync(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  const fs::path dir = FreshDir();
+  storage::FileStorage store(dir.string());
+  if (!store.ok()) {
+    state.SkipWithError(store.open_error().ToString().c_str());
+    return;
+  }
+
+  // Fig8-shaped payload: 8-byte-ish keys, 16-byte values, one client.
+  const Ballot ballot(1, 0);
+  SlotId slot = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < window; ++i) {
+      Command cmd = Command::Put("key-" + std::to_string(slot % 1024),
+                                 "value-payload-16b", kFirstClientId,
+                                 static_cast<uint64_t>(slot + 1));
+      store.Append(storage::WalRecord::Accept(slot, ballot, cmd));
+      ++slot;
+    }
+    Status s = store.Sync();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(store.appended_records()));
+  state.counters["appended"] =
+      static_cast<double>(store.appended_records());
+  state.counters["syncs"] = static_cast<double>(store.syncs());
+  state.counters["records_per_sync"] =
+      store.syncs() > 0
+          ? static_cast<double>(store.appended_records()) /
+                static_cast<double>(store.syncs())
+          : 0.0;
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalGroupFsync)
+    ->ArgName("window")
+    ->Arg(1)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pig
+
+BENCHMARK_MAIN();

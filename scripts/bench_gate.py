@@ -24,6 +24,12 @@ its baseline regardless of how slow the runner is. A cross-row ratio
 floor additionally requires groups:4 to deliver >= 3x the simulated
 throughput of groups:1 — the scale-out acceptance criterion itself.
 
+bench_wal_group_fsync (durable WAL, PR 8) is gated on its deterministic
+records_per_sync counter — WAL appends amortized per fsync barrier —
+rather than wall time, which on shared runners is dominated by the
+backing store's fsync latency. A ratio floor requires the window:16 row
+to amortize >= 8 records per barrier (the group-commit win itself).
+
 Typical use:
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build-release -j
@@ -98,6 +104,15 @@ PINNED_BY_BINARY = {
         "BM_ShardedFig8Shape/groups:4",
         "BM_ShardedFig8Shape/groups:16",
     ],
+    # Durable WAL (PR 8): group commit against a real FileStorage. Gated
+    # on the deterministic records_per_sync counter — appends amortized
+    # per durability barrier — never on fsync wall time (hopelessly noisy
+    # on shared runners). The window:16 row must amortize >= 8 records
+    # per barrier (see RATIO_FLOORS).
+    "bench_wal_group_fsync": [
+        "BM_WalGroupFsync/window:1",
+        "BM_WalGroupFsync/window:16",
+    ],
 }
 PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]
 
@@ -111,6 +126,8 @@ COMPLETION_COUNTERS = {
     "BM_ShardedFig8Shape/groups:1": "sim_req_s",
     "BM_ShardedFig8Shape/groups:4": "sim_req_s",
     "BM_ShardedFig8Shape/groups:16": "sim_req_s",
+    "BM_WalGroupFsync/window:1": "records_per_sync",
+    "BM_WalGroupFsync/window:16": "records_per_sync",
 }
 
 # Cross-benchmark ratio floors, checked within the same run (independent
@@ -126,6 +143,12 @@ RATIO_FLOORS = [
     # throughput of 1 group on the identical workload and seed.
     ("BM_ShardedFig8Shape/groups:4", "BM_ShardedFig8Shape/groups:1", 3.0,
      "sim_req_s"),
+    # Group commit acceptance: a 16-record batch window must amortize at
+    # least 8 appends per durability barrier. A storage regression that
+    # syncs per append collapses this to ~1 and fails here even if the
+    # baseline were refreshed.
+    ("BM_WalGroupFsync/window:16", "BM_WalGroupFsync/window:1", 8.0,
+     "records_per_sync"),
 ]
 
 

@@ -15,6 +15,13 @@
 #   --kill-relay       kill -9 one relay mid-run and restart it two
 #                      seconds later; the workload must still commit
 #                      every command
+#   --data-dir DIR     run replicas durably: each node keeps a segmented
+#                      WAL + snapshots under DIR/node<i>/group-<g>. With
+#                      --kill-relay the restarted node reuses its own
+#                      subtree, and the script asserts (from the logged
+#                      wal-recovery line) that it recovered a nonempty
+#                      committed prefix from disk — i.e. peers supplied
+#                      only the bounded LogSync delta, not the full log
 #
 # Exits 0 iff the client commits all --ops commands and the read-back
 # verifies; replica logs land in a temp dir printed on failure.
@@ -28,6 +35,7 @@ PROTOCOL=pigpaxos
 RELAY_GROUPS=3
 NUM_GROUPS=1
 KILL_RELAY=0
+DATA_DIR=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -39,6 +47,7 @@ while [[ $# -gt 0 ]]; do
     --relay-groups) RELAY_GROUPS="$2"; shift 2 ;;
     --groups) NUM_GROUPS="$2"; shift 2 ;;
     --kill-relay) KILL_RELAY=1; shift ;;
+    --data-dir) DATA_DIR="$2"; shift 2 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -59,6 +68,12 @@ LOG_DIR="$(mktemp -d /tmp/pig_tcp_cluster.XXXXXX)"
 declare -a PIDS=()
 
 cleanup() {
+  # The restarted node is spawned from a background subshell; pick its
+  # pid up from the pid file so an early failure exit can't leak a
+  # pig_node squatting on the port for the next run.
+  if [[ -f "${LOG_DIR}/node1.restart.pid" ]]; then
+    kill "$(cat "${LOG_DIR}/node1.restart.pid")" 2>/dev/null || true
+  fi
   for pid in "${PIDS[@]}"; do
     kill "${pid}" 2>/dev/null || true
   done
@@ -66,14 +81,28 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# A small snapshot interval so even short runs exercise the snapshot +
+# WAL-pruning path, not just raw appends.
+node_durable_args() {
+  local id="$1"
+  if [[ -n "${DATA_DIR}" ]]; then
+    echo "--data-dir=${DATA_DIR}/node${id} --snapshot-interval=64"
+  fi
+}
+
 launch_node() {
   local id="$1"
+  # shellcheck disable=SC2046  # durable args intentionally word-split
   "${PIG_NODE}" --node-id="${id}" --peers="${PEERS}" \
       --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
-      --num-groups="${NUM_GROUPS}" \
+      --num-groups="${NUM_GROUPS}" $(node_durable_args "${id}") \
       > "${LOG_DIR}/node${id}.log" 2>&1 &
   PIDS[id]=$!
 }
+
+if [[ -n "${DATA_DIR}" ]]; then
+  mkdir -p "${DATA_DIR}"
+fi
 
 echo "Starting ${NODES}-node ${PROTOCOL} cluster on ports ${BASE_PORT}-$((BASE_PORT + NODES - 1))"
 for ((i = 0; i < NODES; i++)); do
@@ -94,9 +123,10 @@ if [[ "${KILL_RELAY}" -eq 1 ]]; then
     kill -9 "${PIDS[1]}" 2>/dev/null || true
     sleep 2
     echo "restarting node 1"
+    # shellcheck disable=SC2046
     "${PIG_NODE}" --node-id=1 --peers="${PEERS}" \
         --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
-        --num-groups="${NUM_GROUPS}" \
+        --num-groups="${NUM_GROUPS}" $(node_durable_args 1) \
         > "${LOG_DIR}/node1.restart.log" 2>&1 &
     echo "$!" > "${LOG_DIR}/node1.restart.pid"
   ) &
@@ -124,6 +154,32 @@ if [[ "${CLIENT_RC}" -ne 0 ]] || \
   exit 1
 fi
 
-echo "PASS: ${OPS}/${OPS} commands committed over ${NODES}-process TCP cluster (groups=${NUM_GROUPS})"
+if [[ -n "${DATA_DIR}" && "${KILL_RELAY}" -eq 1 ]]; then
+  # The restarted process must have recovered its committed prefix from
+  # its own WAL + snapshot — peers only supply the delta written while
+  # it was down. recovered_commit=-1 (or no line at all) means the
+  # entire log came over LogSync and durability did nothing.
+  # The workload can finish before the delayed restart fires; wait for
+  # the restarted process to come up and log its recovery (it does so in
+  # the replica constructor, i.e. within its first moments).
+  RECOVERY_LINE=""
+  for _ in $(seq 1 50); do
+    RECOVERY_LINE="$(grep -h 'wal-recovery' "${LOG_DIR}/node1.restart.log" 2>/dev/null | head -1 || true)"
+    [[ -n "${RECOVERY_LINE}" ]] && break
+    sleep 0.2
+  done
+  if [[ -z "${RECOVERY_LINE}" ]]; then
+    echo "FAIL: restarted node logged no wal-recovery line; logs in ${LOG_DIR}" >&2
+    exit 1
+  fi
+  echo "restart recovery: ${RECOVERY_LINE#*] }"
+  RECOVERED="$(sed -n 's/.*recovered_commit=\(-\{0,1\}[0-9]\{1,\}\).*/\1/p' <<< "${RECOVERY_LINE}")"
+  if [[ -z "${RECOVERED}" || "${RECOVERED}" -lt 0 ]]; then
+    echo "FAIL: restarted node recovered nothing from disk (recovered_commit=${RECOVERED:-missing}); logs in ${LOG_DIR}" >&2
+    exit 1
+  fi
+fi
+
+echo "PASS: ${OPS}/${OPS} commands committed over ${NODES}-process TCP cluster (groups=${NUM_GROUPS}${DATA_DIR:+, durable})"
 rm -rf "${LOG_DIR}"
 exit 0

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip checksum) for WAL record
+// integrity. Table-driven, no external dependencies; the WAL cares about
+// detecting torn writes and bit rot on replay, not cryptographic
+// strength.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pig {
+
+/// One-shot CRC-32 over `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `crc` from a previous call (start from 0).
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace pig

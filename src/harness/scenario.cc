@@ -47,6 +47,14 @@ void ScheduleScenario(const ScenarioSpec& spec, const ScenarioRuntime& rt,
       case FaultKind::kCrash:
         cluster.CrashAt(e.at, e.node);
         break;
+      case FaultKind::kCrashWithDisk:
+        cluster.scheduler().ScheduleAt(
+            e.at, [c, node = e.node] { c->CrashWithDisk(node); });
+        break;
+      case FaultKind::kCrashLosingDisk:
+        cluster.scheduler().ScheduleAt(
+            e.at, [c, node = e.node] { c->CrashLosingDisk(node); });
+        break;
       case FaultKind::kRecover:
         cluster.RecoverAt(e.at, e.node);
         break;

@@ -48,6 +48,10 @@ enum class FaultKind {
   kCrashGroupLeader,  ///< Crash whichever node leads consensus group
                       ///< `group` at fire time (sharded runs; for
                       ///< unsharded clusters group 0 = the leader).
+  kCrashWithDisk,    ///< kill -9 `node`: actor rebuilt on recover, must
+                     ///< replay snapshot + WAL from its Storage.
+  kCrashLosingDisk,  ///< Machine replacement: like kCrashWithDisk but
+                     ///< storage is wiped; node catches up from peers.
 };
 
 /// One scripted fault at an absolute virtual time (measured from run
@@ -115,6 +119,20 @@ inline FaultEvent CrashGroupLeaderEvent(TimeNs at, uint32_t group) {
   e.at = at;
   e.kind = FaultKind::kCrashGroupLeader;
   e.group = group;
+  return e;
+}
+inline FaultEvent CrashWithDiskEvent(TimeNs at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrashWithDisk;
+  e.node = node;
+  return e;
+}
+inline FaultEvent CrashLosingDiskEvent(TimeNs at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrashLosingDisk;
+  e.node = node;
   return e;
 }
 

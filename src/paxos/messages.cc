@@ -201,9 +201,10 @@ void LogSyncResponse::EncodeBody(Encoder& enc) const {
   EncodeEntries(enc, entries);
   enc.PutI64(snapshot_upto);
   enc.PutVarint(snapshot.size());
-  for (const auto& [k, v] : snapshot) {
-    enc.PutBytes(k);
-    enc.PutBytes(v);
+  for (const auto& kv : snapshot) {
+    enc.PutBytes(kv.key);
+    enc.PutBytes(kv.value);
+    enc.PutVarint(kv.version);
   }
   enc.PutVarint(client_records.size());
   for (const ClientSeqRecord& r : client_records) r.Encode(enc);
@@ -220,9 +221,10 @@ Status LogSyncResponse::DecodeBody(Decoder& dec, MessagePtr* out) {
   if (!(s = dec.GetVarint(&n)).ok()) return s;
   if (n > dec.remaining()) return Status::Corruption("snapshot too big");
   m->snapshot.resize(static_cast<size_t>(n));
-  for (auto& [k, v] : m->snapshot) {
-    if (!(s = dec.GetBytes(&k)).ok()) return s;
-    if (!(s = dec.GetBytes(&v)).ok()) return s;
+  for (auto& kv : m->snapshot) {
+    if (!(s = dec.GetBytes(&kv.key)).ok()) return s;
+    if (!(s = dec.GetBytes(&kv.value)).ok()) return s;
+    if (!(s = dec.GetVarint(&kv.version)).ok()) return s;
   }
   if (!(s = dec.GetVarint(&n)).ok()) return s;
   if (n > dec.remaining()) return Status::Corruption("records too big");

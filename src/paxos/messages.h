@@ -11,6 +11,7 @@
 #include "consensus/ballot.h"
 #include "consensus/message.h"
 #include "statemachine/command.h"
+#include "statemachine/kvstore.h"
 
 namespace pig::paxos {
 
@@ -136,7 +137,9 @@ struct LogSyncResponse final : Message {
   SlotId commit_index = kInvalidSlot;
   std::vector<AcceptedEntry> entries;
   SlotId snapshot_upto = kInvalidSlot;  ///< kInvalidSlot = no snapshot.
-  std::vector<std::pair<std::string, std::string>> snapshot;
+  /// KV contents with per-key versions: restores must preserve write
+  /// counts or the conformance version invariant breaks after catch-up.
+  std::vector<pig::VersionedKv> snapshot;
   std::vector<ClientSeqRecord> client_records;
 
   bool has_snapshot() const { return snapshot_upto != kInvalidSlot; }

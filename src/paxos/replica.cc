@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "statemachine/batch.h"
+#include "storage/storage.h"
 
 namespace pig::paxos {
 
@@ -22,6 +23,8 @@ PaxosReplica::PaxosReplica(NodeId id, PaxosOptions options)
   for (NodeId n = 0; n < options_.num_replicas; ++n) {
     if (n != id_) peers_.push_back(n);
   }
+  storage_ = options_.storage;
+  if (storage_ != nullptr) RecoverFromStorage();
 }
 
 PaxosReplica::~PaxosReplica() = default;
@@ -137,6 +140,10 @@ MessagePtr PaxosReplica::HandleP1a(const P1a& msg) {
     }
     promised_ = msg.ballot;
     NoteLeaderContact(msg.ballot);
+    // The promise must be durable before the P1b leaves: a crashed
+    // acceptor that forgot it could promise a lower ballot on restart.
+    PersistPromise();
+    SyncWal();
     resp->ballot = msg.ballot;
     resp->ok = true;
     resp->commit_index = CommitIndex();
@@ -162,18 +169,31 @@ MessagePtr PaxosReplica::HandleP2a(const P2a& msg) {
     }
     promised_ = msg.ballot;
     NoteLeaderContact(msg.ballot);
+    PersistPromise();
     ForEachCommand(msg.command, [&](const Command& cmd) {
       if (!cmd.IsWrite()) return;
       SlotId& mark = key_accept_watermark_[cmd.key];
       mark = std::max(mark, msg.slot);
     });
+    // Re-delivered P2as (leader retries) skip the WAL: the same
+    // (slot, ballot) pair carries the same command, already durable.
+    const LogEntry* prev = log_.Get(msg.slot);
+    const bool wal_dup =
+        prev != nullptr && (prev->committed || prev->ballot == msg.ballot);
     Status s = log_.Accept(msg.slot, msg.ballot, msg.command);
     if (!s.ok()) {
       PIG_LOG(kError) << "replica " << id_ << ": accept failed: "
                       << s.ToString();
+    } else if (!wal_dup && msg.slot >= log_.first_slot()) {
+      PersistAccept(msg.slot, msg.ballot, msg.command);
     }
     AdvanceCommit(msg.commit_index, msg.ballot);
     ExecuteReady();
+    // One barrier covers promise + accept + commit marker: the vote below
+    // must not count toward a quorum until everything it implies is
+    // durable. With batching one P2a carries a whole batch window, so
+    // this is the group fsync from the issue.
+    SyncWal();
     resp->ballot = msg.ballot;
     resp->ok = true;
   } else {
@@ -187,6 +207,9 @@ MessagePtr PaxosReplica::HandleP3(const P3& msg) {
   if (msg.ballot < promised_) return nullptr;
   promised_ = msg.ballot;
   NoteLeaderContact(msg.ballot);
+  // Append-only, no barrier: P3/heartbeat carry no response whose
+  // durability anyone depends on; the next quorum-visible reply syncs.
+  PersistPromise();
   AdvanceCommit(msg.commit_index, msg.ballot);
   ExecuteReady();
   return nullptr;
@@ -206,6 +229,7 @@ MessagePtr PaxosReplica::HandleHeartbeat(const Heartbeat& msg) {
   }
   promised_ = msg.ballot;
   NoteLeaderContact(msg.ballot);
+  PersistPromise();
   AdvanceCommit(msg.commit_index, msg.ballot);
   ExecuteReady();
   return nullptr;
@@ -252,7 +276,7 @@ void PaxosReplica::HandleLogSyncRequest(NodeId from,
     // The requested history was compacted: install a state-machine
     // snapshot as of our executed prefix, then ship entries above it.
     resp->snapshot_upto = log_.executed_upto();
-    for (auto& [k, v] : store_.Dump()) resp->snapshot.emplace_back(k, v);
+    resp->snapshot = store_.DumpVersioned();
     // Dedup records travel with the snapshot: without them the restored
     // follower would re-apply a duplicate slot the donors skip, forking
     // the state machines. Emit in client order for determinism.
@@ -278,8 +302,10 @@ void PaxosReplica::HandleLogSyncRequest(NodeId from,
 }
 
 void PaxosReplica::HandleLogSyncResponse(const LogSyncResponse& resp) {
-  if (resp.has_snapshot() && resp.snapshot_upto > log_.executed_upto()) {
-    store_.Restore(resp.snapshot);
+  const bool installed =
+      resp.has_snapshot() && resp.snapshot_upto > log_.executed_upto();
+  if (installed) {
+    store_.RestoreVersioned(resp.snapshot);
     for (const ClientSeqRecord& r : resp.client_records) {
       ClientRecord& rec = client_records_[r.client];
       if (r.seq > rec.seq) {
@@ -293,17 +319,24 @@ void PaxosReplica::HandleLogSyncResponse(const LogSyncResponse& resp) {
                    << resp.snapshot_upto;
   }
   for (const AcceptedEntry& e : resp.entries) {
-    if (!e.committed) continue;
+    if (!e.committed || e.slot < log_.first_slot()) continue;
+    const LogEntry* prev = log_.Get(e.slot);
+    const bool wal_dup = prev != nullptr && prev->committed;
     Status s = log_.CommitWithCommand(e.slot, e.ballot, e.command);
     if (!s.ok()) {
       PIG_LOG(kError) << "replica " << id_
                       << ": sync commit failed: " << s.ToString();
+    } else if (!wal_dup) {
+      PersistAccept(e.slot, e.ballot, e.command);
     }
   }
   // Allow an immediate follow-up request for the remainder.
   sync_requested_upto_ = kInvalidSlot;
   last_sync_request_ = 0;
   ExecuteReady();
+  // An installed snapshot must be persisted: the WAL below snapshot_upto
+  // was never written here, so only the snapshot file carries that state.
+  if (installed) TakeSnapshot();
 }
 
 void PaxosReplica::HandleQuorumRead(NodeId from,
@@ -331,6 +364,11 @@ void PaxosReplica::StartElection() {
   p1_tally_.emplace(options_.quorum->Phase1Size());
   p1_adopted_.clear();
   p1_max_slot_ = log_.last_slot();
+  p1_peer_commit_max_ = kInvalidSlot;
+  p1_peer_commit_holder_ = kInvalidNode;
+  // Our own ballot must be durable before we count our own P1 vote.
+  PersistPromise();
+  SyncWal();
   p1_tally_->Ack(id_);
   PIG_LOG(kInfo) << "replica " << id_ << ": starting election, ballot "
                  << promised_.ToString();
@@ -352,6 +390,11 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     return;
   }
   if (role_ != Role::kCandidate || msg.ballot != promised_) return;
+  if (msg.commit_index != kInvalidSlot &&
+      msg.commit_index > p1_peer_commit_max_) {
+    p1_peer_commit_max_ = msg.commit_index;
+    p1_peer_commit_holder_ = msg.sender;
+  }
   for (const AcceptedEntry& e : msg.entries) {
     p1_max_slot_ = std::max(p1_max_slot_, e.slot);
     auto [it, inserted] = p1_adopted_.emplace(e.slot, e);
@@ -375,9 +418,18 @@ void PaxosReplica::BecomeLeader() {
                  << promised_.ToString();
 
   // Adopt the highest-ballot value for every open slot and re-propose it
-  // under our ballot; plug gaps with no-ops.
+  // under our ballot; plug gaps with no-ops — but only ABOVE the settled
+  // prefix. Slots at or below a quorum member's reported commit index
+  // already have chosen values, and with log compaction the acceptor
+  // that voted for the chosen value may have compacted it, silently
+  // omitting it from its P1b. Re-proposing whatever stale value (or
+  // no-op) we do see for such a slot would choose a second, conflicting
+  // value. Commit what we know is committed; recover the rest via state
+  // transfer from the reporting peer, never by re-running Phase 2.
   const SlotId from = CommitIndex() + 1;
   const SlotId to = std::max(p1_max_slot_, log_.last_slot());
+  const SlotId settled = std::max(CommitIndex(), p1_peer_commit_max_);
+  bool need_prefix_sync = false;
   for (SlotId s = from; s <= to; ++s) {
     const LogEntry* local = log_.Get(s);
     bool have = local != nullptr;
@@ -394,7 +446,15 @@ void PaxosReplica::BecomeLeader() {
       }
     }
     if (committed) {
+      // Persist only newly-learned commands; locally-committed entries
+      // are already durable from their original accept.
+      const bool locally_durable = local != nullptr && local->committed;
       log_.CommitWithCommand(s, promised_, cmd);
+      if (!locally_durable) PersistAccept(s, promised_, cmd);
+      continue;
+    }
+    if (s <= settled) {
+      need_prefix_sync = true;
       continue;
     }
     ProposeAt(s, cmd);
@@ -402,6 +462,17 @@ void PaxosReplica::BecomeLeader() {
   next_slot_ = std::max(next_slot_, to + 1);
   p1_adopted_.clear();
   p1_tally_.reset();
+  if (need_prefix_sync) {
+    prefix_sync_target_ = settled;
+    prefix_sync_source_ = p1_peer_commit_holder_;
+    prefix_sync_attempts_ = 0;
+    metrics_.prefix_syncs++;
+    PIG_LOG(kInfo) << "replica " << id_
+                   << ": settled prefix has unknown slots, state transfer "
+                      "upto slot "
+                   << settled;
+    RequestPrefixSync();
+  }
   ExecuteReady();
 
   if (election_timer_ != kInvalidTimer) {
@@ -429,6 +500,9 @@ void PaxosReplica::StepDown(const Ballot& higher) {
   client_pending_.clear();
   p1_tally_.reset();
   p1_adopted_.clear();
+  prefix_sync_target_ = kInvalidSlot;
+  prefix_sync_source_ = kInvalidNode;
+  prefix_sync_attempts_ = 0;
   // Queued-but-unproposed commands are abandoned; their clients retry
   // against the new leader (client_pending_ was just cleared).
   ResetBatchState();
@@ -561,6 +635,10 @@ void PaxosReplica::ProposeAt(SlotId slot, const Command& cmd) {
                     << s.ToString();
     return;
   }
+  // The leader's own accept is a quorum vote like any other: durable
+  // before it counts.
+  PersistAccept(slot, promised_, cmd);
+  SyncWal();
   Pending p;
   p.tally.emplace(options_.quorum->Phase2Size());
   p.proposed_at = env_->Now();
@@ -626,11 +704,25 @@ void PaxosReplica::ExecuteReady() {
                    [&](const Command& cmd) { ExecuteOne(cmd, *slot); });
     log_.MarkExecuted(*slot);
   }
+  if (storage_ != nullptr && !recovering_) {
+    PersistCommitMark();
+    MaybeSnapshot();
+  }
   // Compaction: keep a bounded window of executed history.
   const SlotId executed = log_.executed_upto();
   const auto window = static_cast<SlotId>(options_.compaction_window);
   if (executed - log_.first_slot() > 2 * window) {
-    log_.CompactUpTo(executed - window);
+    const SlotId cover = executed - window;
+    if (storage_ != nullptr && !recovering_) {
+      // Persist state before its history leaves memory: after CompactUpTo
+      // the only copies of the covered slots are the snapshot and peers.
+      TakeSnapshot();
+    } else {
+      // Covered history is now only recoverable via state transfer; the
+      // dedup cache can shed cold reply payloads too (bounded memory).
+      PruneClientRecords(cover);
+    }
+    log_.CompactUpTo(cover);
   }
 }
 
@@ -681,6 +773,190 @@ void PaxosReplica::ReplyToClient(NodeId client, uint64_t seq,
   reply->leader_hint = KnownLeader();
   reply->slot = slot;
   env_->Send(client, std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Durability (WAL + snapshots). All hooks are no-ops with storage_ null:
+// that configuration is byte-identical to the pre-durability replica.
+
+void PaxosReplica::RecoverFromStorage() {
+  recovering_ = true;
+  if (std::optional<storage::SnapshotData> snap = storage_->LoadSnapshot()) {
+    store_.RestoreVersioned(snap->kv);
+    for (const storage::ClientDedupEntry& r : snap->client_records) {
+      ClientRecord& rec = client_records_[r.client];
+      rec.seq = r.seq;
+      rec.value = r.value;
+      rec.slot = r.slot;
+    }
+    if (promised_ < snap->promised) promised_ = snap->promised;
+    if (snap->upto != kInvalidSlot) log_.FastForwardTo(snap->upto);
+    last_snapshot_upto_ = snap->upto;
+  }
+  SlotId commit_mark = log_.executed_upto();
+  const size_t replayed =
+      storage_->ReplayWal([&](const storage::WalRecord& rec) {
+        switch (rec.type) {
+          case storage::WalRecordType::kPromise:
+            if (promised_ < rec.ballot) promised_ = rec.ballot;
+            break;
+          case storage::WalRecordType::kAccept: {
+            if (rec.slot <= log_.executed_upto()) break;  // snapshot-covered
+            Status s = log_.Accept(rec.slot, rec.ballot, rec.command);
+            if (!s.ok()) {
+              PIG_LOG(kWarn) << "replica " << id_ << ": replay accept slot "
+                             << rec.slot << ": " << s.ToString();
+              break;
+            }
+            ForEachCommand(rec.command, [&](const Command& cmd) {
+              if (!cmd.IsWrite()) return;
+              SlotId& mark = key_accept_watermark_[cmd.key];
+              mark = std::max(mark, rec.slot);
+            });
+            break;
+          }
+          case storage::WalRecordType::kCommit:
+            commit_mark = std::max(commit_mark, rec.slot);
+            break;
+        }
+      });
+  // Commit markers cover a contiguous prefix by construction; entries the
+  // torn tail lost come back from peers via LogSync, so stop at the first
+  // hole instead of trusting the marker blindly.
+  for (SlotId s = CommitIndex() + 1; s <= commit_mark; ++s) {
+    const LogEntry* e = log_.Get(s);
+    if (e == nullptr) break;
+    if (!e->committed) log_.Commit(s);
+  }
+  ExecuteReady();
+  wal_promised_ = promised_;
+  wal_commit_logged_ = CommitIndex();
+  metrics_.wal_replayed_records += replayed;
+  recovering_ = false;
+  PIG_LOG(kInfo) << "replica " << id_ << ": wal-recovery replayed="
+                 << replayed << " snapshot_upto=" << last_snapshot_upto_
+                 << " recovered_commit=" << CommitIndex()
+                 << " promised=" << promised_.ToString();
+}
+
+void PaxosReplica::PersistPromise() {
+  if (storage_ == nullptr || recovering_) return;
+  // wal_promised_ lags promised_ when a StepDown raised the ballot
+  // without a durable write; the P1a echoing that same ballot later must
+  // still hit the WAL before we respond.
+  if (!(wal_promised_ < promised_)) return;
+  storage_->Append(storage::WalRecord::Promise(promised_));
+  wal_promised_ = promised_;
+  wal_dirty_ = true;
+}
+
+void PaxosReplica::PersistAccept(SlotId slot, const Ballot& ballot,
+                                 const Command& cmd) {
+  if (storage_ == nullptr || recovering_) return;
+  storage_->Append(storage::WalRecord::Accept(slot, ballot, cmd));
+  wal_dirty_ = true;
+}
+
+void PaxosReplica::PersistCommitMark() {
+  if (storage_ == nullptr || recovering_) return;
+  const SlotId ci = CommitIndex();
+  if (ci == kInvalidSlot || ci <= wal_commit_logged_) return;
+  // Appended, never force-synced: a lost marker only costs a LogSync on
+  // recovery, commits are re-learnable from peers.
+  storage_->Append(storage::WalRecord::Commit(ci));
+  wal_commit_logged_ = ci;
+  wal_dirty_ = true;
+}
+
+void PaxosReplica::SyncWal() {
+  if (storage_ == nullptr || !wal_dirty_) return;
+  Status s = storage_->Sync();
+  if (!s.ok()) {
+    PIG_LOG(kError) << "replica " << id_
+                    << ": wal sync failed: " << s.ToString();
+  }
+  wal_dirty_ = false;
+}
+
+void PaxosReplica::MaybeSnapshot() {
+  if (options_.snapshot_interval == 0) return;
+  const SlotId executed = log_.executed_upto();
+  if (executed == kInvalidSlot) return;
+  if (executed - last_snapshot_upto_ >=
+      static_cast<SlotId>(options_.snapshot_interval)) {
+    TakeSnapshot();
+  }
+}
+
+void PaxosReplica::TakeSnapshot() {
+  if (storage_ == nullptr || recovering_) return;
+  const SlotId upto = log_.executed_upto();
+  if (upto == kInvalidSlot || upto <= last_snapshot_upto_) return;
+  // The snapshot claims everything executed; that history must be on
+  // disk before segments covering it become prunable.
+  SyncWal();
+  storage::SnapshotData snap;
+  snap.upto = upto;
+  snap.promised = promised_;
+  snap.kv = store_.DumpVersioned();
+  std::map<NodeId, const ClientRecord*> ordered;
+  for (const auto& [client, rec] : client_records_) {
+    ordered.emplace(client, &rec);
+  }
+  for (const auto& [client, rec] : ordered) {
+    snap.client_records.push_back(
+        storage::ClientDedupEntry{client, rec->seq, rec->value, rec->slot});
+  }
+  Status s = storage_->WriteSnapshot(snap);
+  if (!s.ok()) {
+    PIG_LOG(kError) << "replica " << id_
+                    << ": snapshot failed: " << s.ToString();
+    return;
+  }
+  last_snapshot_upto_ = upto;
+  if (wal_promised_ < promised_) wal_promised_ = promised_;  // snap holds it
+  metrics_.snapshots_written++;
+  PruneClientRecords(upto);
+}
+
+void PaxosReplica::PruneClientRecords(SlotId cover) {
+  const auto horizon = static_cast<SlotId>(options_.client_record_horizon);
+  if (horizon <= 0 || cover == kInvalidSlot) return;
+  for (auto& [client, rec] : client_records_) {
+    if (rec.slot == kInvalidSlot || rec.slot + horizon > cover) continue;
+    // Keep the seq floor (still rejects stale retries, no double-apply),
+    // drop the cached reply payload: a client that retries a request this
+    // old gets an empty kOk, same as a stale-but-not-latest seq today.
+    rec.value.clear();
+    rec.value.shrink_to_fit();
+    rec.slot = kInvalidSlot;
+    metrics_.client_records_pruned++;
+  }
+}
+
+void PaxosReplica::RequestPrefixSync() {
+  if (prefix_sync_target_ == kInvalidSlot) return;
+  if (role_ != Role::kLeader ||
+      CommitIndex() >= prefix_sync_target_) {
+    prefix_sync_target_ = kInvalidSlot;
+    prefix_sync_source_ = kInvalidNode;
+    prefix_sync_attempts_ = 0;
+    return;
+  }
+  // First ask the quorum member that reported the high commit index; on
+  // retries rotate through peers in case it crashed meanwhile.
+  NodeId src = prefix_sync_source_;
+  if ((prefix_sync_attempts_ > 0 || src == kInvalidNode || src == id_) &&
+      !peers_.empty()) {
+    src = peers_[prefix_sync_attempts_ % peers_.size()];
+  }
+  if (src == kInvalidNode || src == id_) return;
+  prefix_sync_attempts_++;
+  auto req = std::make_shared<LogSyncRequest>();
+  req->sender = id_;
+  req->from = CommitIndex() + 1;
+  req->to = prefix_sync_target_;
+  env_->Send(src, std::move(req));
 }
 
 // ---------------------------------------------------------------------------
@@ -735,6 +1011,7 @@ void PaxosReplica::ArmRetryTimer() {
 void PaxosReplica::OnRetryTimeout() {
   retry_timer_ = kInvalidTimer;
   if (role_ != Role::kLeader) return;
+  RequestPrefixSync();  // re-ask (rotating donors) until the gap closes
   const TimeNs now = env_->Now();
   for (auto& [slot, pending] : pending_) {
     if (now - pending.proposed_at < options_.propose_retry_timeout) continue;

@@ -23,6 +23,10 @@
 #include "quorum/quorum.h"
 #include "statemachine/kvstore.h"
 
+namespace pig::storage {
+class Storage;  // storage/storage.h; the seam stays below paxos/
+}
+
 namespace pig::paxos {
 
 using pig::Actor;
@@ -73,6 +77,29 @@ struct PaxosOptions {
   /// Executed slots beyond this window are compacted away.
   size_t compaction_window = 8192;
 
+  // --- Durability (off by default) --------------------------------------
+  // With `storage` null every WAL/snapshot hook is skipped entirely:
+  // no extra allocations, timers, or rng draws, so memory-only runs stay
+  // byte-identical to the pre-durability behavior.
+
+  /// Durable WAL + snapshot backend (storage/storage.h). Non-owning; the
+  /// caller keeps it alive for the replica's lifetime. The replica
+  /// recovers from it in its constructor, so hand over storage that has
+  /// already survived the crash being recovered from.
+  storage::Storage* storage = nullptr;
+
+  /// With storage attached: also write a snapshot every this many
+  /// executed slots, independent of compaction (0 = snapshot only at
+  /// compaction points). Lets tests exercise snapshot recovery while the
+  /// full log is retained for invariant checking.
+  size_t snapshot_interval = 0;
+
+  /// Client dedup records whose last executed slot is more than this many
+  /// slots behind a snapshot/compaction cover point are pruned down to a
+  /// seq-only floor (cached reply value dropped, dedup preserved).
+  /// 0 disables pruning.
+  size_t client_record_horizon = 1u << 16;
+
   // --- Batching + pipelining (off by default) ---------------------------
   // The engine engages only when batch_size > 1 or pipeline_depth > 1;
   // at the defaults every proposal takes the legacy immediate path, so
@@ -116,6 +143,12 @@ struct ReplicaMetrics {
   uint64_t batched_commands = 0;   ///< Client commands those slots carried.
   uint64_t batch_timeout_flushes = 0;  ///< Time-triggered partial flushes.
   uint64_t pipeline_stalls = 0;    ///< Flushes deferred by a full window.
+
+  // Durability (zero while storage is detached).
+  uint64_t wal_replayed_records = 0;  ///< Records replayed at construction.
+  uint64_t snapshots_written = 0;
+  uint64_t client_records_pruned = 0;  ///< Dedup entries reduced to floors.
+  uint64_t prefix_syncs = 0;  ///< Leader-side committed-prefix catch-ups.
 };
 
 class PaxosReplica : public Actor {
@@ -213,6 +246,22 @@ class PaxosReplica : public Actor {
   void ArmBatchTimer();
   void OnBatchTimeout();
   void MaybeRequestSync(SlotId target_ci);
+
+  // Durability hooks (all no-ops while options_.storage is null).
+  void RecoverFromStorage();       ///< Constructor-time replay.
+  void PersistPromise();           ///< Appends kPromise if not yet durable.
+  void PersistAccept(SlotId slot, const Ballot& ballot, const Command& cmd);
+  void PersistCommitMark();        ///< Appends kCommit when ci advanced.
+  void SyncWal();                  ///< Durability barrier if dirty.
+  void MaybeSnapshot();            ///< Interval/compaction triggers.
+  void TakeSnapshot();
+  void PruneClientRecords(SlotId cover);
+
+  // Committed-prefix catch-up for a freshly elected leader whose log was
+  // compacted past slots its P1 quorum reports as committed elsewhere
+  // (see BecomeLeader): state transfer instead of unsafe re-proposal.
+  void RequestPrefixSync();
+
   void NoteLeaderContact(const Ballot& ballot);
   void ReplyToClient(NodeId client, uint64_t seq, StatusCode code,
                      std::string value, SlotId slot);
@@ -243,6 +292,16 @@ class PaxosReplica : public Actor {
   std::optional<VoteTally> p1_tally_;
   std::unordered_map<SlotId, AcceptedEntry> p1_adopted_;
   SlotId p1_max_slot_ = kInvalidSlot;
+  // Highest commit_index any counted P1b reported, and who reported it.
+  // Slots at or below it are already chosen cluster-wide; a compacted
+  // candidate must recover them by state transfer, never re-proposal.
+  SlotId p1_peer_commit_max_ = kInvalidSlot;
+  NodeId p1_peer_commit_holder_ = kInvalidNode;
+
+  // Leader-side prefix catch-up (kInvalidSlot = none outstanding).
+  SlotId prefix_sync_target_ = kInvalidSlot;
+  NodeId prefix_sync_source_ = kInvalidNode;
+  size_t prefix_sync_attempts_ = 0;
 
   // Leader state.
   struct Pending {
@@ -283,6 +342,14 @@ class PaxosReplica : public Actor {
   TimerId retry_timer_ = kInvalidTimer;
   TimeNs last_leader_contact_ = 0;
   TimeNs election_draw_ = 0;  // timeout drawn for the current timer
+
+  // Durability state (meaningful only with options_.storage attached).
+  storage::Storage* storage_ = nullptr;   // == options_.storage
+  bool wal_dirty_ = false;                // appended since last Sync()
+  Ballot wal_promised_;                   // highest durable promise
+  SlotId wal_commit_logged_ = kInvalidSlot;  // last kCommit marker value
+  SlotId last_snapshot_upto_ = kInvalidSlot;
+  bool recovering_ = false;               // inside RecoverFromStorage
 };
 
 }  // namespace pig::paxos

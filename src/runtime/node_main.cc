@@ -11,6 +11,12 @@
 // (replies return over its dialed connections), runs `--ops` sequential
 // puts plus a read-back check, prints "committed=N failed=M", and exits
 // nonzero on any failure. Replicas run until SIGTERM/SIGINT.
+//
+// With --data-dir=PATH the replica runs durably: each consensus group
+// gets a segmented WAL + snapshot subtree at PATH/group-<g>
+// (storage/file_storage.h), and a kill -9'd process restarted with the
+// same --data-dir recovers its committed prefix from disk before
+// rejoining — peers only supply the delta via LogSync.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "epaxos/messages.h"
 #include "epaxos/replica.h"
 #include "paxos/replica.h"
@@ -28,6 +35,7 @@
 #include "runtime/thread_cluster.h"
 #include "shard/messages.h"
 #include "shard/sharded_node.h"
+#include "storage/file_storage.h"
 
 namespace {
 
@@ -47,6 +55,10 @@ struct Args {
   /// to stretch the workload across a scripted kill/restart window.
   int op_delay_ms = 0;
   uint64_t seed = 1;
+  /// Replica-only: durable WAL + snapshot root (empty = memory only).
+  std::string data_dir;
+  /// Executed slots between durable snapshots when --data-dir is set.
+  size_t snapshot_interval = 4096;
 };
 
 bool ParsePeers(const std::string& csv, Args* args) {
@@ -91,6 +103,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->op_delay_ms = std::atoi(vd);
     } else if (const char* v5 = value("--seed=")) {
       args->seed = static_cast<uint64_t>(std::atoll(v5));
+    } else if (const char* vdd = value("--data-dir=")) {
+      args->data_dir = vdd;
+    } else if (const char* vsi = value("--snapshot-interval=")) {
+      args->snapshot_interval = static_cast<size_t>(std::atoll(vsi));
     } else {
       std::fprintf(stderr, "pig_node: unknown flag %s\n", arg.c_str());
       return false;
@@ -101,8 +117,35 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
+/// The per-process FileStorage instances; the replica actors hold
+/// non-owning pointers, so RunReplica keeps this alive past cluster
+/// teardown.
+using StorageList =
+    std::vector<std::unique_ptr<pig::storage::FileStorage>>;
+
+/// Opens PATH/group-<g> for one consensus group; nullptr (with the
+/// `opened` flag false) on failure, nullptr (flag true) when running
+/// memory-only.
+pig::storage::Storage* OpenGroupStorage(const Args& args, uint32_t group,
+                                        StorageList* owned, bool* opened) {
+  *opened = true;
+  if (args.data_dir.empty()) return nullptr;
+  const std::string dir =
+      args.data_dir + "/group-" + std::to_string(group);
+  auto fsb = std::make_unique<pig::storage::FileStorage>(dir);
+  if (!fsb->ok()) {
+    std::fprintf(stderr, "pig_node: cannot open data dir %s: %s\n",
+                 dir.c_str(), fsb->open_error().ToString().c_str());
+    *opened = false;
+    return nullptr;
+  }
+  owned->push_back(std::move(fsb));
+  return owned->back().get();
+}
+
 std::unique_ptr<pig::Actor> MakeGroupReplica(const Args& args,
-                                             uint32_t group) {
+                                             uint32_t group,
+                                             pig::storage::Storage* storage) {
   const size_t n = args.peers.size();
   // Leader spreading: group g bootstraps its leader on node g % n, the
   // same placement policy as the simulator harness (and the one a cold
@@ -112,17 +155,27 @@ std::unique_ptr<pig::Actor> MakeGroupReplica(const Args& args,
     pig::paxos::PaxosOptions opt;
     opt.num_replicas = n;
     opt.bootstrap_leader = bootstrap;
+    opt.storage = storage;
+    opt.snapshot_interval = storage != nullptr ? args.snapshot_interval : 0;
     return std::make_unique<pig::paxos::PaxosReplica>(args.node_id, opt);
   }
   if (args.protocol == "pigpaxos") {
     pig::pigpaxos::PigPaxosOptions opt;
     opt.paxos.num_replicas = n;
     opt.paxos.bootstrap_leader = bootstrap;
+    opt.paxos.storage = storage;
+    opt.paxos.snapshot_interval =
+        storage != nullptr ? args.snapshot_interval : 0;
     opt.num_relay_groups = args.relay_groups;
     return std::make_unique<pig::pigpaxos::PigPaxosReplica>(args.node_id,
                                                             opt);
   }
   if (args.protocol == "epaxos") {
+    if (storage != nullptr) {
+      std::fprintf(stderr,
+                   "pig_node: --data-dir is not supported for epaxos\n");
+      return nullptr;
+    }
     pig::epaxos::EPaxosOptions opt;
     opt.num_replicas = n;
     return std::make_unique<pig::epaxos::EPaxosReplica>(args.node_id, opt);
@@ -130,15 +183,24 @@ std::unique_ptr<pig::Actor> MakeGroupReplica(const Args& args,
   return nullptr;
 }
 
-std::unique_ptr<pig::Actor> MakeReplica(const Args& args) {
-  if (args.num_groups <= 1) return MakeGroupReplica(args, 0);
+std::unique_ptr<pig::Actor> MakeReplica(const Args& args,
+                                        StorageList* storages) {
+  bool opened = true;
+  if (args.num_groups <= 1) {
+    pig::storage::Storage* s =
+        OpenGroupStorage(args, 0, storages, &opened);
+    return opened ? MakeGroupReplica(args, 0, s) : nullptr;
+  }
   if (args.protocol == "epaxos") {
     std::fprintf(stderr, "pig_node: --num-groups requires paxos/pigpaxos\n");
     return nullptr;
   }
   auto node = std::make_unique<pig::shard::ShardedNode>(args.num_groups);
   for (uint32_t g = 0; g < args.num_groups; ++g) {
-    auto replica = MakeGroupReplica(args, g);
+    pig::storage::Storage* s =
+        OpenGroupStorage(args, g, storages, &opened);
+    if (!opened) return nullptr;
+    auto replica = MakeGroupReplica(args, g, s);
     if (replica == nullptr) return nullptr;
     node->AddGroup(std::move(replica));
   }
@@ -146,12 +208,18 @@ std::unique_ptr<pig::Actor> MakeReplica(const Args& args) {
 }
 
 int RunReplica(const Args& args) {
+  // A server process wants the cold-path operational log (elections,
+  // snapshot installs, wal-recovery) on stderr; the kWarn default exists
+  // for the simulator's hot loop, not for a long-running node. The
+  // durable restart script greps the wal-recovery line specifically.
+  pig::SetLogLevel(pig::LogLevel::kInfo);
+  StorageList storages;  // declared first: outlives the replica actors
   pig::runtime::TcpCluster cluster(args.seed);
   for (pig::NodeId i = 0; i < args.peers.size(); ++i) {
     if (i == args.node_id) continue;
     cluster.AddPeer(i, args.peers[i].first, args.peers[i].second);
   }
-  std::unique_ptr<pig::Actor> replica = MakeReplica(args);
+  std::unique_ptr<pig::Actor> replica = MakeReplica(args, &storages);
   if (replica == nullptr) {
     std::fprintf(stderr, "pig_node: unknown protocol %s\n",
                  args.protocol.c_str());
@@ -238,7 +306,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pig_node --node-id=N --peers=host:port,... "
                  "[--protocol=paxos|pigpaxos|epaxos] [--relay-groups=K] "
-                 "[--num-groups=G] [--seed=S]\n"
+                 "[--num-groups=G] [--seed=S] [--data-dir=PATH] "
+                 "[--snapshot-interval=I]\n"
                  "       pig_node --client --peers=... [--ops=N] "
                  "[--num-groups=G] [--op-delay-ms=D]\n");
     return 2;

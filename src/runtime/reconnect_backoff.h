@@ -1,0 +1,70 @@
+// Per-peer reconnect pacing for the TCP transport, factored out of the
+// epoll loop so the policy is unit-testable (tests/reconnect_backoff_test.cc).
+//
+// The rule: every dial failure (or death of an established connection)
+// doubles the delay before the next attempt, from `min` up to `max`,
+// plus up to 25% jitter so a restarted cluster doesn't reconnect in
+// lockstep. A *successful TCP handshake* forgets all history — the next
+// failure backs off from `min` again.
+//
+// That last transition is the regression this type exists for: the old
+// inline implementation only reset the backoff on the plain
+// EPOLLOUT completion path, so a connect that completed together with
+// EPOLLERR/EPOLLHUP in one epoll event (peer accepted, then died — the
+// normal shape of a crash-looping peer, and of a restart racing our
+// dial) skipped the reset and kept the delay pinned at `max` long after
+// the peer was healthy.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pig::runtime {
+
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff() = default;
+  ReconnectBackoff(TimeNs min_backoff, TimeNs max_backoff)
+      : min_(min_backoff), max_(max_backoff) {}
+
+  /// True when no scheduled delay blocks a dial right now.
+  bool CanAttempt(TimeNs now) const { return now >= next_attempt_at_; }
+
+  /// When the next dial becomes allowed; 0 = immediately.
+  TimeNs next_attempt_at() const { return next_attempt_at_; }
+
+  /// The current doubled delay (0 = cold, never failed since the last
+  /// established connection).
+  TimeNs current_backoff() const { return backoff_; }
+
+  /// A dial failed or an established connection died: double the delay
+  /// (capped at max) and schedule the next attempt with jitter in
+  /// [0, backoff/4] drawn from `jitter_source`. Returns the scheduled
+  /// attempt time.
+  TimeNs NoteFailure(TimeNs now, uint64_t jitter_source) {
+    backoff_ = backoff_ == 0 ? min_ : std::min(backoff_ * 2, max_);
+    const TimeNs jitter = static_cast<TimeNs>(
+        jitter_source % static_cast<uint64_t>(backoff_ / 4 + 1));
+    next_attempt_at_ = now + backoff_ + jitter;
+    return next_attempt_at_;
+  }
+
+  /// The TCP handshake succeeded: the peer's listener is demonstrably
+  /// up, so forget the failure history entirely. Must be called on
+  /// EVERY successful connect completion — including completions that
+  /// share their epoll event with an error/hangup flag.
+  void NoteEstablished() {
+    backoff_ = 0;
+    next_attempt_at_ = 0;
+  }
+
+ private:
+  TimeNs min_ = 50 * kMillisecond;
+  TimeNs max_ = 1 * kSecond;
+  TimeNs backoff_ = 0;
+  TimeNs next_attempt_at_ = 0;
+};
+
+}  // namespace pig::runtime

@@ -17,6 +17,7 @@
 
 #include "common/logging.h"
 #include "net/frame.h"
+#include "runtime/reconnect_backoff.h"
 
 namespace pig::runtime {
 
@@ -73,6 +74,7 @@ class TcpCluster::TcpNode final : public Transport {
   Conn* DialPeer(NodeId to);
   void RetryConnects();
   void ScheduleReconnect(NodeId peer);
+  ReconnectBackoff& BackoffFor(NodeId peer);
   void CloseConn(int fd);
   void SetEpollOut(Conn* c, bool want);
   void DrainExternalSends();
@@ -95,8 +97,7 @@ class TcpCluster::TcpNode final : public Transport {
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;     // by fd
   std::unordered_map<NodeId, Conn*> outbound_;               // dialed
   std::unordered_map<NodeId, Conn*> inbound_route_;          // hello'd
-  std::unordered_map<NodeId, TimeNs> reconnect_at_;
-  std::unordered_map<NodeId, TimeNs> backoff_;
+  std::unordered_map<NodeId, ReconnectBackoff> backoff_;
   std::unordered_set<int> dirty_;  // conns with unflushed output
 
   std::mutex ext_mu_;
@@ -216,8 +217,8 @@ void TcpCluster::TcpNode::SendOnLoop(NodeId to, const Message& msg) {
 
 TcpCluster::TcpNode::Conn* TcpCluster::TcpNode::DialPeer(NodeId to) {
   const TimeNs now = loop_.Now();
-  auto at = reconnect_at_.find(to);
-  if (at != reconnect_at_.end() && at->second > now) return nullptr;
+  auto at = backoff_.find(to);
+  if (at != backoff_.end() && !at->second.CanAttempt(now)) return nullptr;
   const PeerAddr& addr = cluster_->peers_.at(to);
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
@@ -257,7 +258,10 @@ TcpCluster::TcpNode::Conn* TcpCluster::TcpNode::DialPeer(NodeId to) {
   Conn* raw = conn.get();
   conns_.emplace(fd, std::move(conn));
   outbound_[to] = raw;
-  if (!in_progress) backoff_.erase(to);
+  // Loopback connects can complete synchronously: that's an established
+  // handshake, so the backoff history (including any scheduled retry
+  // time) is cleared here exactly like on the EPOLLOUT completion path.
+  if (!in_progress) BackoffFor(to).NoteEstablished();
   dirty_.insert(fd);
   return raw;
 }
@@ -270,12 +274,20 @@ void TcpCluster::TcpNode::RetryConnects() {
   }
 }
 
+ReconnectBackoff& TcpCluster::TcpNode::BackoffFor(NodeId peer) {
+  auto it = backoff_.find(peer);
+  if (it == backoff_.end()) {
+    it = backoff_
+             .emplace(peer,
+                      ReconnectBackoff(cluster_->options_.reconnect_min,
+                                       cluster_->options_.reconnect_max))
+             .first;
+  }
+  return it->second;
+}
+
 void TcpCluster::TcpNode::ScheduleReconnect(NodeId peer) {
-  TimeNs& b = backoff_[peer];
-  b = b == 0 ? cluster_->options_.reconnect_min
-             : std::min(b * 2, cluster_->options_.reconnect_max);
-  const TimeNs jitter = static_cast<TimeNs>(NextRand() % (b / 4 + 1));
-  reconnect_at_[peer] = loop_.Now() + b + jitter;
+  BackoffFor(peer).NoteFailure(loop_.Now(), NextRand());
 }
 
 void TcpCluster::TcpNode::CloseConn(int fd) {
@@ -426,11 +438,15 @@ void TcpCluster::TcpNode::HandleEvent(const epoll_event& ev) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;  // closed earlier in this batch
   Conn* c = it->second.get();
-  if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
-    CloseConn(fd);
-    return;
-  }
-  if (c->connecting && (ev.events & EPOLLOUT) != 0) {
+  if (c->connecting) {
+    // A completing nonblocking connect can carry EPOLLOUT together with
+    // EPOLLERR/EPOLLHUP in a single epoll event (the peer accepted and
+    // then died, or sent a RST right after the handshake). SO_ERROR is
+    // the ground truth and must be consulted BEFORE the error
+    // short-circuit below: with SO_ERROR == 0 the handshake did
+    // succeed, so the backoff resets — the old order skipped the reset
+    // and left the retry delay pinned at reconnect_max even while the
+    // peer's listener was reachable again.
     int err = 0;
     socklen_t len = sizeof(err);
     ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
@@ -439,10 +455,14 @@ void TcpCluster::TcpNode::HandleEvent(const epoll_event& ev) {
       return;
     }
     c->connecting = false;
-    backoff_.erase(c->peer);
-    reconnect_at_.erase(c->peer);
+    BackoffFor(c->peer).NoteEstablished();
     if (!FlushConn(c)) return;
-  } else if ((ev.events & EPOLLOUT) != 0) {
+  }
+  if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseConn(fd);
+    return;
+  }
+  if ((ev.events & EPOLLOUT) != 0) {
     if (!FlushConn(c)) return;
   }
   if ((ev.events & EPOLLIN) != 0) HandleReadable(c);
@@ -460,8 +480,10 @@ void TcpCluster::TcpNode::DrainExternalSends() {
 int TcpCluster::TcpNode::PollTimeoutMs() {
   const TimeNs now = loop_.Now();
   TimeNs next = loop_.NextTimerDeadline();
-  for (const auto& [peer, at] : reconnect_at_) {
+  for (const auto& [peer, b] : backoff_) {
     if (outbound_.count(peer) != 0) continue;
+    const TimeNs at = b.next_attempt_at();
+    if (at == 0) continue;  // no retry scheduled
     if (next < 0 || at < next) next = at;
   }
   if (next < 0) return 100;

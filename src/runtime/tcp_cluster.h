@@ -70,8 +70,10 @@ class TcpCluster {
   void StopNode(NodeId id);
 
   /// Boots a fresh actor in a stopped node's slot, re-listening on the
-  /// same port. State recovers through the protocol (LogSync), the same
-  /// way a restarted pig_node process would.
+  /// same port. An actor built without storage recovers purely through
+  /// the protocol (LogSync); one constructed over the dead node's
+  /// FileStorage replays snapshot + WAL first, exactly like a pig_node
+  /// process restarted with the same --data-dir.
   void RestartNode(NodeId id, std::unique_ptr<Actor> actor);
 
   Actor* actor(NodeId id);

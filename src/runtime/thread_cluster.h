@@ -56,9 +56,12 @@ class ThreadCluster : private Transport {
   /// then on — the in-process analogue of kill -9 (fault tests).
   void StopNode(NodeId id);
 
-  /// Boots a fresh actor in a stopped node's slot. The new actor starts
-  /// from empty state and recovers through the protocol itself (LogSync),
-  /// the same way a restarted process would.
+  /// Boots a fresh actor in a stopped node's slot. An actor built
+  /// without storage starts empty and recovers through the protocol
+  /// alone (LogSync); one constructed over the previous incarnation's
+  /// Storage (PaxosOptions::storage) replays its durable snapshot + WAL
+  /// first and only fetches the delta from peers — the same two restart
+  /// modes a real pig_node process has with and without --data-dir.
   void RestartNode(NodeId id, std::unique_ptr<Actor> actor);
 
   Actor* actor(NodeId id);

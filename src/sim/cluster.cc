@@ -38,6 +38,8 @@ struct Cluster::Node {
   TimeNs busy_accum = 0;  // total busy time, for utilization reporting
   std::deque<PendingDelivery> inbox;
   bool drain_scheduled = false;
+  bool rebuild_pending = false;  // CrashWithDisk/-LosingDisk was used
+  bool lose_disk = false;        // rebuild must wipe storage first
   // Live timers, few per node: a flat list beats a hash map here.
   std::vector<std::pair<TimerId, EventId>> timers;
 
@@ -225,14 +227,30 @@ void Cluster::Drain(NodeId id) {
 }
 
 void Cluster::Crash(NodeId id) {
+  CrashImpl(id, /*rebuild=*/false, /*lose_disk=*/false);
+}
+
+void Cluster::CrashWithDisk(NodeId id) {
+  CrashImpl(id, /*rebuild=*/true, /*lose_disk=*/false);
+}
+
+void Cluster::CrashLosingDisk(NodeId id) {
+  CrashImpl(id, /*rebuild=*/true, /*lose_disk=*/true);
+}
+
+void Cluster::CrashImpl(NodeId id, bool rebuild, bool lose_disk) {
   Node* node = FindNode(id);
   if (node == nullptr || !node->alive) return;
   PIG_LOG(kInfo) << "crash node " << id << " at t=" << ToMillis(Now())
-                 << "ms";
+                 << "ms"
+                 << (rebuild ? (lose_disk ? " (losing disk)" : " (with disk)")
+                             : "");
   node->alive = false;
   node->inbox.clear();
   for (const auto& [tid, eid] : node->timers) scheduler_.Cancel(eid);
   node->timers.clear();
+  node->rebuild_pending = node->rebuild_pending || rebuild;
+  node->lose_disk = node->lose_disk || lose_disk;
 }
 
 void Cluster::Recover(NodeId id) {
@@ -240,6 +258,22 @@ void Cluster::Recover(NodeId id) {
   if (node == nullptr || node->alive) return;
   PIG_LOG(kInfo) << "recover node " << id << " at t=" << ToMillis(Now())
                  << "ms";
+  if (node->rebuild_pending) {
+    if (rebuild_hook_) {
+      // Tear down the dead incarnation before building the new one: both
+      // would otherwise hold the same Storage at once.
+      node->actor.reset();
+      node->actor = rebuild_hook_(id, node->lose_disk);
+      assert(node->actor != nullptr);
+      node->actor->Bind(node->env.get());
+    } else {
+      PIG_LOG(kWarn) << "recover node " << id
+                     << ": no rebuild hook, state retained despite "
+                        "crash-with-disk semantics";
+    }
+    node->rebuild_pending = false;
+    node->lose_disk = false;
+  }
   node->alive = true;
   node->busy_until = scheduler_.now();
   node->actor->OnStart();

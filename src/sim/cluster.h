@@ -12,6 +12,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -82,11 +83,29 @@ class Cluster {
 
   // --- Fault injection --------------------------------------------------
   /// Silently crashes a node: pending timers are canceled, queued and
-  /// in-flight messages to it are dropped. State is retained (stable
-  /// storage model).
+  /// in-flight messages to it are dropped. State is retained (legacy
+  /// perfect-stable-storage model; the process does not lose memory).
   void Crash(NodeId id);
 
-  /// Recovers a crashed node and re-runs its OnStart().
+  /// Crashes a node like a real kill -9: on Recover the actor object is
+  /// REBUILT from scratch via the rebuild hook and must recover state
+  /// from its Storage. Requires SetRebuildHook; falls back to Crash()
+  /// semantics (with a warning) when no hook is installed.
+  void CrashWithDisk(NodeId id);
+
+  /// CrashWithDisk plus disk loss: the rebuild hook is told to wipe the
+  /// node's storage first, modelling a machine replacement. The node
+  /// comes back empty and must catch up from peers.
+  void CrashLosingDisk(NodeId id);
+
+  /// Builds a fresh actor for `id` after CrashWithDisk/CrashLosingDisk;
+  /// `lose_disk` says whether storage must be wiped before recovery.
+  using RebuildHook =
+      std::function<std::unique_ptr<Actor>(NodeId id, bool lose_disk)>;
+  void SetRebuildHook(RebuildHook hook) { rebuild_hook_ = std::move(hook); }
+
+  /// Recovers a crashed node and re-runs its OnStart(). Nodes downed by
+  /// CrashWithDisk/CrashLosingDisk are rebuilt first.
   void Recover(NodeId id);
 
   bool IsAlive(NodeId id) const;
@@ -111,6 +130,7 @@ class Cluster {
   class NodeEnv;
 
   void AddActor(NodeId id, std::unique_ptr<Actor> actor, bool is_client);
+  void CrashImpl(NodeId id, bool rebuild, bool lose_disk);
   Node* FindNode(NodeId id);
   const Node* FindNode(NodeId id) const;
   void SendFrom(Node& from, NodeId to, MessagePtr msg);
@@ -127,6 +147,7 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> clients_;
   std::vector<NodeId> replica_ids_;
   std::vector<NodeId> client_ids_;
+  RebuildHook rebuild_hook_;
   bool started_ = false;
 };
 

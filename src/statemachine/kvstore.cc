@@ -1,5 +1,7 @@
 #include "statemachine/kvstore.h"
 
+#include <algorithm>
+
 namespace pig {
 
 std::string KvStore::Apply(const Command& cmd) {
@@ -62,6 +64,26 @@ void KvStore::Restore(
   map_.clear();
   for (const auto& [k, v] : snapshot) {
     map_[k] = Entry{v, 1};
+  }
+}
+
+std::vector<VersionedKv> KvStore::DumpVersioned() const {
+  std::vector<VersionedKv> out;
+  out.reserve(map_.size());
+  for (const auto& [k, e] : map_) out.push_back({k, e.value, e.version});
+  std::sort(out.begin(), out.end(),
+            [](const VersionedKv& a, const VersionedKv& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+void KvStore::RestoreVersioned(const std::vector<VersionedKv>& snapshot) {
+  map_.clear();
+  applied_ = 0;
+  for (const VersionedKv& e : snapshot) {
+    map_[e.key] = Entry{e.value, e.version};
+    applied_ += e.version;  // best-effort: reads/noops are not recoverable
   }
 }
 

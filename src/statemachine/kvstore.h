@@ -23,6 +23,16 @@ class StateMachine {
   virtual std::string Apply(const Command& cmd) = 0;
 };
 
+/// One key's snapshot state including its write-version counter, so
+/// exactly-once accounting survives snapshot installs and crash recovery
+/// (a value-only snapshot would reset versions and hide double-applies
+/// from the invariant checkers).
+struct VersionedKv {
+  std::string key;
+  std::string value;
+  uint64_t version = 0;
+};
+
 /// Hash-map backed key-value store with per-key versions.
 class KvStore : public StateMachine {
  public:
@@ -44,6 +54,11 @@ class KvStore : public StateMachine {
   void Restore(const std::map<std::string, std::string>& snapshot);
   void Restore(
       const std::vector<std::pair<std::string, std::string>>& snapshot);
+
+  /// Version-preserving snapshot pair (key-ordered dump), used by the
+  /// durable snapshots and the LogSync install path.
+  std::vector<VersionedKv> DumpVersioned() const;
+  void RestoreVersioned(const std::vector<VersionedKv>& snapshot);
 
  private:
   struct Entry {

@@ -1,0 +1,291 @@
+#include "storage/file_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+#include "net/frame.h"
+
+namespace pig::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SegmentName(uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+/// Parses "wal-NNNNNN.log"; 0 = not a segment file.
+uint64_t SegmentNumberOf(const std::string& name) {
+  unsigned long long number = 0;
+  char tail = 0;
+  if (std::sscanf(name.c_str(), "wal-%6llu.lo%c", &number, &tail) == 2 &&
+      tail == 'g') {
+    return number;
+  }
+  return 0;
+}
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+}  // namespace
+
+FileStorage::FileStorage(std::string dir, FileStorageOptions opt)
+    : dir_(std::move(dir)), opt_(opt) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    open_error_ = Status::Internal("create " + dir_ + ": " + ec.message());
+    return;
+  }
+  open_error_ = ScanDir();
+}
+
+FileStorage::~FileStorage() { CloseCurrent(); }
+
+Status FileStorage::ScanDir() {
+  std::error_code ec;
+  std::vector<Segment> found;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    const uint64_t number = SegmentNumberOf(name);
+    if (number == 0) continue;
+    Segment seg;
+    seg.path = e.path().string();
+    seg.number = number;
+    found.push_back(std::move(seg));
+  }
+  if (ec) return Status::Internal("scan " + dir_ + ": " + ec.message());
+  std::sort(found.begin(), found.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.number < b.number;
+            });
+  closed_ = std::move(found);
+  for (const Segment& seg : closed_) {
+    next_segment_ = std::max(next_segment_, seg.number + 1);
+  }
+  // A stale snapshot.tmp is a crash mid-WriteSnapshot: the rename never
+  // happened, so it is garbage by construction.
+  std::error_code ignore;
+  fs::remove(fs::path(dir_) / "snapshot.tmp", ignore);
+  return Status::Ok();
+}
+
+std::optional<SnapshotData> FileStorage::LoadSnapshot() {
+  std::vector<uint8_t> blob;
+  const std::string path = (fs::path(dir_) / "snapshot.bin").string();
+  if (!ReadWholeFile(path, &blob) || blob.empty()) return std::nullopt;
+  std::optional<SnapshotData> snap =
+      ParseSnapshotBlob(blob.data(), blob.size());
+  if (!snap.has_value()) {
+    PIG_LOG(kWarn) << "storage: corrupt snapshot ignored at " << path;
+  }
+  return snap;
+}
+
+size_t FileStorage::ReplayWal(
+    const std::function<void(const WalRecord&)>& fn) {
+  size_t replayed = 0;
+  for (Segment& seg : closed_) {
+    std::vector<uint8_t> bytes;
+    if (!ReadWholeFile(seg.path, &bytes)) {
+      PIG_LOG(kWarn) << "storage: unreadable segment " << seg.path
+                     << "; replay stops";
+      return replayed;
+    }
+    net::FrameReader reader;
+    reader.Append(bytes.data(), bytes.size());
+    const uint8_t* payload = nullptr;
+    size_t size = 0;
+    for (;;) {
+      const net::FrameReader::Result r = reader.Next(&payload, &size);
+      if (r != net::FrameReader::Result::kFrame) {
+        // kNeedMore with buffered bytes = short tail; kCorrupt = garbage
+        // length prefix. Both mean a torn write: the suffix is lost.
+        if (reader.buffered() > 0 ||
+            r == net::FrameReader::Result::kCorrupt) {
+          PIG_LOG(kWarn) << "storage: torn tail in " << seg.path
+                         << " after " << replayed << " records";
+          return replayed;
+        }
+        break;
+      }
+      WalRecord rec;
+      if (!ParseWalPayload(payload, size, &rec)) {
+        PIG_LOG(kWarn) << "storage: bad record crc in " << seg.path
+                       << " after " << replayed << " records";
+        return replayed;
+      }
+      // Track coverage so WriteSnapshot can prune recovered segments.
+      if (rec.CoverSlot() != kInvalidSlot) {
+        seg.max_cover = std::max(seg.max_cover, rec.CoverSlot());
+      }
+      if (rec.type == WalRecordType::kPromise) {
+        seg.has_promise = true;
+        if (seg.max_ballot < rec.ballot) seg.max_ballot = rec.ballot;
+      }
+      fn(rec);
+      replayed++;
+    }
+  }
+  return replayed;
+}
+
+void FileStorage::Append(const WalRecord& rec) {
+  if (!ok()) return;
+  AppendWalFrame(rec, &pending_);
+  if (rec.CoverSlot() != kInvalidSlot) {
+    pending_max_cover_ = std::max(pending_max_cover_, rec.CoverSlot());
+  }
+  if (rec.type == WalRecordType::kPromise) {
+    pending_has_promise_ = true;
+    if (pending_max_ballot_ < rec.ballot) pending_max_ballot_ = rec.ballot;
+  }
+  appended_++;
+}
+
+Status FileStorage::OpenFreshSegment() {
+  CloseCurrent();
+  current_ = Segment{};
+  current_.number = next_segment_++;
+  current_.path = (fs::path(dir_) / SegmentName(current_.number)).string();
+  fd_ = ::open(current_.path.c_str(),
+               O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return Errno("open segment");
+  current_bytes_ = 0;
+  return Status::Ok();
+}
+
+void FileStorage::CloseCurrent() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    closed_.push_back(current_);
+  }
+}
+
+Status FileStorage::Sync() {
+  if (!ok()) return open_error_;
+  if (pending_.empty()) return Status::Ok();
+  // Roll before the write, not after: a segment never ends mid-batch and
+  // fresh appends never touch a file recovery may have seen.
+  if (fd_ < 0 || current_bytes_ >= opt_.segment_bytes) {
+    Status s = OpenFreshSegment();
+    if (!s.ok()) return s;
+  }
+  size_t off = 0;
+  while (off < pending_.size()) {
+    const ssize_t n =
+        ::write(fd_, pending_.data() + off, pending_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write wal");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync wal");
+  current_bytes_ += pending_.size();
+  if (current_.max_cover < pending_max_cover_) {
+    current_.max_cover = pending_max_cover_;
+  }
+  current_.has_promise = current_.has_promise || pending_has_promise_;
+  if (current_.max_ballot < pending_max_ballot_) {
+    current_.max_ballot = pending_max_ballot_;
+  }
+  pending_.clear();
+  pending_max_cover_ = kInvalidSlot;
+  pending_has_promise_ = false;
+  pending_max_ballot_ = Ballot::Zero();
+  syncs_++;
+  return Status::Ok();
+}
+
+Status FileStorage::SyncDir() const {
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return Errno("open dir");
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return Errno("fsync dir");
+  return Status::Ok();
+}
+
+Status FileStorage::WriteSnapshot(const SnapshotData& snap) {
+  if (!ok()) return open_error_;
+  const std::vector<uint8_t> blob = EncodeSnapshotBlob(snap);
+  const std::string tmp = (fs::path(dir_) / "snapshot.tmp").string();
+  const std::string final_path =
+      (fs::path(dir_) / "snapshot.bin").string();
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open snapshot.tmp");
+  size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write snapshot");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync snapshot");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename snapshot");
+  }
+  Status s = SyncDir();  // the rename itself must survive power loss
+  if (!s.ok()) return s;
+  return PruneCoveredSegments(snap);
+}
+
+Status FileStorage::PruneCoveredSegments(const SnapshotData& snap) {
+  // Unlink the longest prefix of closed segments fully covered by the
+  // snapshot. The open segment is never pruned; an uncovered segment
+  // stops the scan so replay order stays contiguous.
+  size_t keep = 0;
+  while (keep < closed_.size()) {
+    const Segment& seg = closed_[keep];
+    const bool slots_covered =
+        seg.max_cover == kInvalidSlot || seg.max_cover <= snap.upto;
+    const bool promises_covered =
+        !seg.has_promise || !(snap.promised < seg.max_ballot);
+    if (!slots_covered || !promises_covered) break;
+    std::error_code ec;
+    fs::remove(seg.path, ec);
+    if (ec) {
+      PIG_LOG(kWarn) << "storage: prune " << seg.path << ": "
+                     << ec.message();
+      break;
+    }
+    keep++;
+  }
+  closed_.erase(closed_.begin(), closed_.begin() + static_cast<long>(keep));
+  if (keep > 0) return SyncDir();
+  return Status::Ok();
+}
+
+}  // namespace pig::storage

@@ -1,0 +1,94 @@
+// On-disk Storage: segmented WAL + atomic snapshot file in one data dir.
+//
+// Layout (one directory per replica, one subtree per group under a
+// ShardedNode — see runtime/node_main.cc):
+//   <dir>/wal-000001.log     segment: framed, crc'd records (storage.h)
+//   <dir>/wal-000002.log     ... appended in segment-number order
+//   <dir>/snapshot.bin       latest durable snapshot (crc'd blob)
+//   <dir>/snapshot.tmp       in-flight snapshot; ignored on recovery
+//
+// Group commit: Append() buffers framed records in memory; Sync() is one
+// write() + one fdatasync() for everything buffered since the last
+// barrier. The caller (PaxosReplica) arranges that one Sync covers a
+// whole batch window, so fsync cost amortizes across the PR 3 batching/
+// pipelining engine exactly like message cost does.
+//
+// Torn tails: recovery replays segments in order and stops at the first
+// short/corrupt record. A new segment is always opened after recovery so
+// fresh appends never extend a possibly-torn tail. Segments whose
+// records are all covered by the latest snapshot are unlinked after the
+// snapshot rename + directory fsync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/storage.h"
+
+namespace pig::storage {
+
+struct FileStorageOptions {
+  size_t segment_bytes = 4u << 20;  ///< Roll segments at ~this size.
+};
+
+class FileStorage : public Storage {
+ public:
+  /// Creates `dir` (and parents) if missing and scans existing state.
+  /// Check ok() before use; a failed open degrades to an empty store
+  /// that rejects appends.
+  explicit FileStorage(std::string dir, FileStorageOptions opt = {});
+  ~FileStorage() override;
+
+  FileStorage(const FileStorage&) = delete;
+  FileStorage& operator=(const FileStorage&) = delete;
+
+  bool ok() const { return open_error_.ok(); }
+  const Status& open_error() const { return open_error_; }
+  const std::string& dir() const { return dir_; }
+
+  void Append(const WalRecord& rec) override;
+  Status Sync() override;
+  Status WriteSnapshot(const SnapshotData& snap) override;
+  std::optional<SnapshotData> LoadSnapshot() override;
+  size_t ReplayWal(
+      const std::function<void(const WalRecord&)>& fn) override;
+
+  uint64_t appended_records() const override { return appended_; }
+  uint64_t syncs() const override { return syncs_; }
+
+ private:
+  struct Segment {
+    std::string path;
+    uint64_t number = 0;
+    SlotId max_cover = kInvalidSlot;  ///< Highest CoverSlot inside.
+    bool has_promise = false;         ///< Holds promise records.
+    Ballot max_ballot;                ///< Highest promise ballot inside.
+  };
+
+  Status ScanDir();
+  Status OpenFreshSegment();
+  void CloseCurrent();
+  Status PruneCoveredSegments(const SnapshotData& snap);
+  Status SyncDir() const;
+
+  std::string dir_;
+  FileStorageOptions opt_;
+  Status open_error_;
+
+  std::vector<Segment> closed_;   ///< Recovered + rolled, oldest first.
+  Segment current_;
+  int fd_ = -1;                   ///< Current segment; -1 until first Sync.
+  size_t current_bytes_ = 0;
+  uint64_t next_segment_ = 1;
+
+  std::vector<uint8_t> pending_;  ///< Framed records since last Sync.
+  SlotId pending_max_cover_ = kInvalidSlot;
+  bool pending_has_promise_ = false;
+  Ballot pending_max_ballot_;
+
+  uint64_t appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace pig::storage

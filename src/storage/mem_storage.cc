@@ -1,0 +1,87 @@
+#include "storage/mem_storage.h"
+
+#include "net/frame.h"
+
+namespace pig::storage {
+
+void MemStorage::Append(const WalRecord& rec) {
+  StoredRecord stored;
+  AppendWalFrame(rec, &stored.frame);
+  stored.cover_slot = rec.CoverSlot();
+  stored.ballot = rec.ballot;
+  stored.is_promise = rec.type == WalRecordType::kPromise;
+  pending_.push_back(std::move(stored));
+  appended_++;
+}
+
+Status MemStorage::Sync() {
+  if (pending_.empty()) return Status::Ok();
+  for (StoredRecord& r : pending_) durable_.push_back(std::move(r));
+  pending_.clear();
+  syncs_++;
+  return Status::Ok();
+}
+
+Status MemStorage::WriteSnapshot(const SnapshotData& snap) {
+  snapshot_blob_ = EncodeSnapshotBlob(snap);
+  // Prune the covered prefix, mirroring FileStorage's whole-segment
+  // pruning at per-record granularity.
+  size_t keep = 0;
+  while (keep < durable_.size()) {
+    const StoredRecord& r = durable_[keep];
+    const bool covered = r.is_promise
+                             ? !(snap.promised < r.ballot)
+                             : r.cover_slot != kInvalidSlot &&
+                                   r.cover_slot <= snap.upto;
+    if (!covered) break;
+    keep++;
+  }
+  durable_.erase(durable_.begin(),
+                 durable_.begin() + static_cast<long>(keep));
+  return Status::Ok();
+}
+
+std::optional<SnapshotData> MemStorage::LoadSnapshot() {
+  if (snapshot_blob_.empty()) return std::nullopt;
+  return ParseSnapshotBlob(snapshot_blob_.data(), snapshot_blob_.size());
+}
+
+size_t MemStorage::ReplayWal(
+    const std::function<void(const WalRecord&)>& fn) {
+  // Feed every durable frame through the stream reader, exactly as
+  // FileStorage replays a segment file.
+  net::FrameReader reader;
+  for (const StoredRecord& r : durable_) {
+    reader.Append(r.frame.data(), r.frame.size());
+  }
+  size_t replayed = 0;
+  const uint8_t* payload = nullptr;
+  size_t size = 0;
+  while (reader.Next(&payload, &size) == net::FrameReader::Result::kFrame) {
+    WalRecord rec;
+    if (!ParseWalPayload(payload, size, &rec)) break;  // torn tail
+    fn(rec);
+    replayed++;
+  }
+  return replayed;
+}
+
+void MemStorage::TearLastRecord() {
+  if (durable_.empty()) return;
+  std::vector<uint8_t>& frame = durable_.back().frame;
+  // Chop the frame mid-payload: the length prefix promises more bytes
+  // than survive, so replay sees kNeedMore at the tail and stops — or,
+  // if enough bytes survive to parse, the crc fails. Either way the
+  // record is lost.
+  frame.resize(frame.size() - frame.size() / 3 - 1);
+}
+
+void MemStorage::WipeAll() {
+  durable_.clear();
+  pending_.clear();
+  snapshot_blob_.clear();
+  // appended_/syncs_ survive: they are observability counters for the
+  // whole storage lifetime, not disk state.
+}
+
+}  // namespace pig::storage

@@ -1,0 +1,59 @@
+// Deterministic in-memory Storage for the simulator and unit tests.
+//
+// Records are held as their *framed on-disk bytes* (the exact output of
+// AppendWalFrame) and replayed through the same FrameReader + crc path as
+// FileStorage, so torn-write and lost-suffix faults injected here exercise
+// the real decode behavior, byte for byte. Crash semantics are explicit
+// method calls driven by the sim harness:
+//   * DropUnsynced()  — crash-with-disk: appends after the last Sync()
+//     never reached the platter.
+//   * TearLastRecord() — a sync'd record physically truncated mid-write
+//     (torn tail); replay must stop at it, losing it and any suffix.
+//   * WipeAll()       — crash-losing-disk: the volume is gone.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/storage.h"
+
+namespace pig::storage {
+
+class MemStorage : public Storage {
+ public:
+  void Append(const WalRecord& rec) override;
+  Status Sync() override;
+  Status WriteSnapshot(const SnapshotData& snap) override;
+  std::optional<SnapshotData> LoadSnapshot() override;
+  size_t ReplayWal(
+      const std::function<void(const WalRecord&)>& fn) override;
+
+  uint64_t appended_records() const override { return appended_; }
+  uint64_t syncs() const override { return syncs_; }
+
+  // --- Fault injection (called between one replica "process" dying and
+  // the next being constructed over this storage) ----------------------
+  void DropUnsynced() { pending_.clear(); }
+  void TearLastRecord();
+  void WipeAll();
+
+  size_t durable_records() const { return durable_.size(); }
+  size_t pending_records() const { return pending_.size(); }
+  bool has_snapshot() const { return !snapshot_blob_.empty(); }
+
+ private:
+  struct StoredRecord {
+    std::vector<uint8_t> frame;  ///< Framed bytes, as written to disk.
+    SlotId cover_slot = kInvalidSlot;
+    Ballot ballot;  ///< Promise records: prunable once snapshotted.
+    bool is_promise = false;
+  };
+
+  std::vector<StoredRecord> durable_;
+  std::vector<StoredRecord> pending_;
+  std::vector<uint8_t> snapshot_blob_;
+  uint64_t appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace pig::storage

@@ -1,0 +1,162 @@
+#include "storage/storage.h"
+
+#include "net/frame.h"
+
+namespace pig::storage {
+namespace {
+
+constexpr size_t kCrcBytes = 4;
+
+void EncodeClientRecord(const ClientDedupEntry& r, Encoder& enc) {
+  enc.PutU32(r.client);
+  enc.PutVarint(r.seq);
+  enc.PutBytes(r.value);
+  enc.PutI64(r.slot);
+}
+
+Status DecodeClientRecord(Decoder& dec, ClientDedupEntry* out) {
+  Status s;
+  if (!(s = dec.GetU32(&out->client)).ok()) return s;
+  if (!(s = dec.GetVarint(&out->seq)).ok()) return s;
+  if (!(s = dec.GetBytes(&out->value)).ok()) return s;
+  if (!(s = dec.GetI64(&out->slot)).ok()) return s;
+  return Status::Ok();
+}
+
+/// Prepends the crc of everything encoded after it. The crc slot is
+/// written last (the body length is unknown up front), so callers encode
+/// into a scratch vector: [4 crc placeholder][body].
+void SealCrc(std::vector<uint8_t>& buf) {
+  const uint32_t crc = Crc32(buf.data() + kCrcBytes, buf.size() - kCrcBytes);
+  for (size_t i = 0; i < kCrcBytes; ++i) {
+    buf[i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+}
+
+bool CheckCrc(const uint8_t* data, size_t size) {
+  if (size < kCrcBytes) return false;
+  uint32_t stored = 0;
+  for (size_t i = 0; i < kCrcBytes; ++i) {
+    stored |= static_cast<uint32_t>(data[i]) << (8 * i);
+  }
+  return stored == Crc32(data + kCrcBytes, size - kCrcBytes);
+}
+
+}  // namespace
+
+void EncodeWalRecord(const WalRecord& rec, Encoder& enc) {
+  enc.PutU8(static_cast<uint8_t>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kPromise:
+      rec.ballot.Encode(enc);
+      break;
+    case WalRecordType::kAccept:
+      enc.PutI64(rec.slot);
+      rec.ballot.Encode(enc);
+      rec.command.Encode(enc);
+      break;
+    case WalRecordType::kCommit:
+      enc.PutI64(rec.slot);
+      break;
+  }
+}
+
+Status DecodeWalRecord(Decoder& dec, WalRecord* out) {
+  uint8_t type = 0;
+  Status s;
+  if (!(s = dec.GetU8(&type)).ok()) return s;
+  if (type < static_cast<uint8_t>(WalRecordType::kPromise) ||
+      type > static_cast<uint8_t>(WalRecordType::kCommit)) {
+    return Status::Corruption("unknown wal record type");
+  }
+  out->type = static_cast<WalRecordType>(type);
+  switch (out->type) {
+    case WalRecordType::kPromise:
+      return Ballot::Decode(dec, &out->ballot);
+    case WalRecordType::kAccept:
+      if (!(s = dec.GetI64(&out->slot)).ok()) return s;
+      if (!(s = Ballot::Decode(dec, &out->ballot)).ok()) return s;
+      return Command::Decode(dec, &out->command);
+    case WalRecordType::kCommit:
+      return dec.GetI64(&out->slot);
+  }
+  return Status::Corruption("unreachable");
+}
+
+void EncodeSnapshot(const SnapshotData& snap, Encoder& enc) {
+  enc.PutI64(snap.upto);
+  snap.promised.Encode(enc);
+  enc.PutVarint(snap.kv.size());
+  for (const VersionedKv& e : snap.kv) {
+    enc.PutBytes(e.key);
+    enc.PutBytes(e.value);
+    enc.PutVarint(e.version);
+  }
+  enc.PutVarint(snap.client_records.size());
+  for (const ClientDedupEntry& r : snap.client_records) {
+    EncodeClientRecord(r, enc);
+  }
+}
+
+Status DecodeSnapshot(Decoder& dec, SnapshotData* out) {
+  Status s;
+  if (!(s = dec.GetI64(&out->upto)).ok()) return s;
+  if (!(s = Ballot::Decode(dec, &out->promised)).ok()) return s;
+  uint64_t n = 0;
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) return Status::Corruption("snapshot kv too big");
+  out->kv.resize(static_cast<size_t>(n));
+  for (VersionedKv& e : out->kv) {
+    if (!(s = dec.GetBytes(&e.key)).ok()) return s;
+    if (!(s = dec.GetBytes(&e.value)).ok()) return s;
+    if (!(s = dec.GetVarint(&e.version)).ok()) return s;
+  }
+  if (!(s = dec.GetVarint(&n)).ok()) return s;
+  if (n > dec.remaining()) {
+    return Status::Corruption("snapshot records too big");
+  }
+  out->client_records.resize(static_cast<size_t>(n));
+  for (ClientDedupEntry& r : out->client_records) {
+    if (!(s = DecodeClientRecord(dec, &r)).ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void AppendWalFrame(const WalRecord& rec, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload(kCrcBytes, 0);  // crc sealed below
+  {
+    Encoder enc(payload);
+    EncodeWalRecord(rec, enc);
+  }
+  SealCrc(payload);
+  net::AppendRawFrame(payload.data(), payload.size(), out);
+}
+
+bool ParseWalPayload(const uint8_t* payload, size_t size, WalRecord* out) {
+  if (!CheckCrc(payload, size)) return false;
+  Decoder dec(payload + kCrcBytes, size - kCrcBytes);
+  if (!DecodeWalRecord(dec, out).ok()) return false;
+  return dec.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeSnapshotBlob(const SnapshotData& snap) {
+  std::vector<uint8_t> blob(kCrcBytes, 0);
+  {
+    Encoder enc(blob);
+    EncodeSnapshot(snap, enc);
+  }
+  SealCrc(blob);
+  return blob;
+}
+
+std::optional<SnapshotData> ParseSnapshotBlob(const uint8_t* data,
+                                              size_t size) {
+  if (!CheckCrc(data, size)) return std::nullopt;
+  Decoder dec(data + kCrcBytes, size - kCrcBytes);
+  SnapshotData snap;
+  if (!DecodeSnapshot(dec, &snap).ok()) return std::nullopt;
+  if (dec.remaining() != 0) return std::nullopt;
+  return snap;
+}
+
+}  // namespace pig::storage

@@ -13,6 +13,7 @@
 #include "shard/router.h"
 #include "shard/sharded_node.h"
 #include "statemachine/batch.h"
+#include "storage/mem_storage.h"
 #include "test_util.h"
 
 namespace pig::test {
@@ -162,9 +163,13 @@ paxos::PaxosOptions MakePaxosOptions(const ConformanceConfig& cfg,
   popt.num_replicas = cfg.num_replicas;
   popt.batch_size = cfg.batch_size;
   popt.pipeline_depth = cfg.pipeline_depth;
-  // Invariant checking scans the whole log; never compact (also keeps
-  // the snapshot path out of the per-key version accounting).
-  popt.compaction_window = 1u << 30;
+  // Default: never compact, so invariant checking scans the whole log
+  // (and the snapshot path stays out of the per-key version accounting).
+  // Durability rows override to exercise snapshot + state transfer; the
+  // full-prefix checks gate themselves on first_slot() then.
+  popt.compaction_window =
+      cfg.compaction_window > 0 ? cfg.compaction_window : (1u << 30);
+  popt.snapshot_interval = cfg.snapshot_interval;
   popt.test_fault_count_duplicate_votes = inject_fault;
   if (cfg.flexible_q1 > 0 && cfg.flexible_q2 > 0) {
     popt.quorum = std::make_shared<FlexibleQuorum>(
@@ -194,46 +199,73 @@ pigpaxos::PigPaxosOptions MakePigOptions(const ConformanceConfig& cfg,
   return opt;
 }
 
-void AddReplicas(sim::Cluster& cluster, const ConformanceConfig& cfg,
-                 bool inject_fault) {
+/// Per-(node, group) in-memory fault-injecting storage for durability
+/// runs. Owned by RunConformance, shared by initial construction and
+/// every crash-with-disk rebuild of the same node.
+struct StorageBank {
+  std::vector<std::vector<std::unique_ptr<storage::MemStorage>>> stores;
+
+  void Init(size_t nodes, uint32_t groups) {
+    stores.clear();
+    stores.resize(nodes);
+    for (auto& per_node : stores) {
+      for (uint32_t g = 0; g < groups; ++g) {
+        per_node.push_back(std::make_unique<storage::MemStorage>());
+      }
+    }
+  }
+  storage::MemStorage* at(NodeId i, uint32_t g) {
+    return stores[i][g].get();
+  }
+};
+
+/// Builds node `i`'s actor (ring / sharded / pig / flat paxos). With a
+/// bank, each hosted replica gets its persistent MemStorage and recovers
+/// from it in its constructor — the same path a rebuilt node takes after
+/// CrashWithDisk.
+std::unique_ptr<Actor> BuildNodeActor(const ConformanceConfig& cfg,
+                                      bool inject_fault, NodeId i,
+                                      StorageBank* bank) {
   if (cfg.use_ring) {
     baselines::RingOptions opt;
     opt.paxos = MakePaxosOptions(cfg, inject_fault);
-    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
-      cluster.AddReplica(i, std::make_unique<baselines::RingReplica>(i, opt));
-    }
-  } else if (cfg.num_groups > 1) {
+    if (bank != nullptr) opt.paxos.storage = bank->at(i, 0);
+    return std::make_unique<baselines::RingReplica>(i, opt);
+  }
+  if (cfg.num_groups > 1) {
     // Sharded: every node hosts one replica per consensus group; group g
     // bootstraps its leader on node g % n so leader load spreads.
-    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
-      auto node = std::make_unique<shard::ShardedNode>(cfg.num_groups);
-      for (uint32_t g = 0; g < cfg.num_groups; ++g) {
-        const NodeId bootstrap =
-            static_cast<NodeId>(g % cfg.num_replicas);
-        if (cfg.use_pig) {
-          pigpaxos::PigPaxosOptions opt = MakePigOptions(cfg, inject_fault);
-          opt.paxos.bootstrap_leader = bootstrap;
-          node->AddGroup(
-              std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
-        } else {
-          paxos::PaxosOptions opt = MakePaxosOptions(cfg, inject_fault);
-          opt.bootstrap_leader = bootstrap;
-          node->AddGroup(std::make_unique<paxos::PaxosReplica>(i, opt));
-        }
+    auto node = std::make_unique<shard::ShardedNode>(cfg.num_groups);
+    for (uint32_t g = 0; g < cfg.num_groups; ++g) {
+      const NodeId bootstrap = static_cast<NodeId>(g % cfg.num_replicas);
+      if (cfg.use_pig) {
+        pigpaxos::PigPaxosOptions opt = MakePigOptions(cfg, inject_fault);
+        opt.paxos.bootstrap_leader = bootstrap;
+        if (bank != nullptr) opt.paxos.storage = bank->at(i, g);
+        node->AddGroup(std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
+      } else {
+        paxos::PaxosOptions opt = MakePaxosOptions(cfg, inject_fault);
+        opt.bootstrap_leader = bootstrap;
+        if (bank != nullptr) opt.storage = bank->at(i, g);
+        node->AddGroup(std::make_unique<paxos::PaxosReplica>(i, opt));
       }
-      cluster.AddReplica(i, std::move(node));
     }
-  } else if (cfg.use_pig) {
+    return node;
+  }
+  if (cfg.use_pig) {
     pigpaxos::PigPaxosOptions opt = MakePigOptions(cfg, inject_fault);
-    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
-      cluster.AddReplica(
-          i, std::make_unique<pigpaxos::PigPaxosReplica>(i, opt));
-    }
-  } else {
-    paxos::PaxosOptions opt = MakePaxosOptions(cfg, inject_fault);
-    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
-      cluster.AddReplica(i, std::make_unique<paxos::PaxosReplica>(i, opt));
-    }
+    if (bank != nullptr) opt.paxos.storage = bank->at(i, 0);
+    return std::make_unique<pigpaxos::PigPaxosReplica>(i, opt);
+  }
+  paxos::PaxosOptions opt = MakePaxosOptions(cfg, inject_fault);
+  if (bank != nullptr) opt.storage = bank->at(i, 0);
+  return std::make_unique<paxos::PaxosReplica>(i, opt);
+}
+
+void AddReplicas(sim::Cluster& cluster, const ConformanceConfig& cfg,
+                 bool inject_fault, StorageBank* bank = nullptr) {
+  for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+    cluster.AddReplica(i, BuildNodeActor(cfg, inject_fault, i, bank));
   }
 }
 
@@ -283,6 +315,10 @@ std::string CheckInvariants(sim::Cluster& cluster,
   // run is the one-group special case). (client,seq) commit counts
   // accumulate across groups: a command must commit in exactly one.
   std::map<std::pair<NodeId, uint64_t>, int> committed;
+  // Set when any group leader's log starts above slot 0 (compaction or a
+  // snapshot install): the prefix scan is partial then, so the version
+  // and lost-ack accounting below would undercount and must be skipped.
+  bool any_compacted = false;
   for (uint32_t g = 0; g < groups; ++g) {
     const std::string tag =
         groups > 1 ? " (group " + std::to_string(g) + ")" : "";
@@ -332,10 +368,29 @@ std::string CheckInvariants(sim::Cluster& cluster,
       }
     }
 
+    // Committed-prefix holes must never survive compaction + sync, on
+    // ANY live replica: a new leader that compacted below a settled slot
+    // must close the gap via state transfer, not leave it (or worse,
+    // noop-plug it — that shows up as log disagreement above).
+    for (NodeId i = 0; i < n; ++i) {
+      if (!cluster.IsAlive(i)) continue;
+      const auto& li = GroupPaxosAt(cluster, cfg, i, g)->log();
+      const SlotId lci = li.ContiguousCommitIndex();
+      for (SlotId s = li.first_slot(); s <= lci; ++s) {
+        const LogEntry* e = li.Get(s);
+        if (e == nullptr || !e->committed) {
+          return "hole at slot " + std::to_string(s) +
+                 " inside replica " + std::to_string(i) +
+                 "'s committed prefix" + tag;
+        }
+      }
+    }
+
     // Scan the group leader's contiguous committed prefix.
     const auto* lead = GroupPaxosAt(cluster, cfg, leader, g);
     const ReplicatedLog& log = lead->log();
     const SlotId ci = log.ContiguousCommitIndex();
+    any_compacted = any_compacted || log.first_slot() > 0;
     std::map<std::string, uint64_t> distinct_writes_per_key;
     std::string membership;
     for (SlotId s = log.first_slot(); s <= ci; ++s) {
@@ -369,14 +424,18 @@ std::string CheckInvariants(sim::Cluster& cluster,
     // version past the number of distinct committed writes; one skipped
     // falls short. (The log may legally hold a (client,seq) in two
     // slots after failover; execution must still be exactly-once.)
-    for (const auto& [key, writes] : distinct_writes_per_key) {
-      const uint64_t version = lead->store().VersionOf(key);
-      if (version != writes) {
-        std::ostringstream msg;
-        msg << "key " << key << ": " << writes
-            << " distinct committed writes but store version " << version
-            << " (duplicate or lost apply)" << tag;
-        return msg.str();
+    // Vacuous once the prefix scan is partial: compacted writes are
+    // counted in the version but invisible to the scan.
+    if (log.first_slot() == 0) {
+      for (const auto& [key, writes] : distinct_writes_per_key) {
+        const uint64_t version = lead->store().VersionOf(key);
+        if (version != writes) {
+          std::ostringstream msg;
+          msg << "key " << key << ": " << writes
+              << " distinct committed writes but store version " << version
+              << " (duplicate or lost apply)" << tag;
+          return msg.str();
+        }
       }
     }
   }
@@ -393,6 +452,9 @@ std::string CheckInvariants(sim::Cluster& cluster,
   if (!lin.empty()) return "linearizability: " + lin;
 
   // No lost command: every acknowledged write is in the committed prefix.
+  // Skipped when a scan was partial — a compacted ack is not a lost ack
+  // (store convergence and linearizability still cover those runs).
+  if (any_compacted) return "";
   for (auto* c : clients) {
     for (uint64_t seq : c->acked_write_seqs) {
       // HistoryClient i registered as MakeClientId(i); recover the id
@@ -422,8 +484,29 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
     scenario_rt = harness::PrepareScenario(cfg.scenario, cfg.num_replicas);
     if (scenario_rt.latency) copt.network.latency = scenario_rt.latency;
   }
+  // The bank outlives the cluster: replicas (including rebuilt ones)
+  // hold raw pointers into it.
+  StorageBank bank;
+  const bool with_disk = cfg.disk != DiskMode::kNone;
   sim::Cluster cluster(copt);
-  AddReplicas(cluster, cfg, /*inject_fault=*/false);
+  if (with_disk) {
+    bank.Init(cfg.num_replicas, cfg.num_groups > 0 ? cfg.num_groups : 1);
+    cluster.SetRebuildHook([&cfg, &bank](NodeId id, bool lose_disk) {
+      const uint32_t groups = cfg.num_groups > 0 ? cfg.num_groups : 1;
+      for (uint32_t g = 0; g < groups; ++g) {
+        // kill -9 semantics: appends after the last Sync barrier never
+        // reached disk; a lost disk loses everything.
+        if (lose_disk) {
+          bank.at(id, g)->WipeAll();
+        } else {
+          bank.at(id, g)->DropUnsynced();
+        }
+      }
+      return BuildNodeActor(cfg, /*inject_fault=*/false, id, &bank);
+    });
+  }
+  AddReplicas(cluster, cfg, /*inject_fault=*/false,
+              with_disk ? &bank : nullptr);
   std::vector<HistoryClient*> clients = AddClients(cluster, cfg);
   cluster.Start();
 
@@ -451,13 +534,29 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
     Rng chaos(seed * 7919 + 0x5bd1e995);
     std::vector<bool> down(n, false);
     size_t num_down = 0;
+    bool disk_lost = false;  // kLosingDisk's one-replacement budget
     for (int round = 0; round < cfg.chaos_rounds; ++round) {
       const uint64_t dice = chaos.NextBounded(100);
       if (dice < 30) {
         if (num_down < max_down) {
           NodeId victim = static_cast<NodeId>(chaos.NextBounded(n));
           if (!down[victim]) {
-            cluster.Crash(victim);
+            switch (cfg.disk) {
+              case DiskMode::kNone:
+                cluster.Crash(victim);
+                break;
+              case DiskMode::kWithDisk:
+                cluster.CrashWithDisk(victim);
+                break;
+              case DiskMode::kLosingDisk:
+                if (!disk_lost) {
+                  cluster.CrashLosingDisk(victim);
+                  disk_lost = true;
+                } else {
+                  cluster.CrashWithDisk(victim);
+                }
+                break;
+            }
             down[victim] = true;
             num_down++;
           }

@@ -29,6 +29,24 @@
 
 namespace pig::test {
 
+/// What a chaos-round crash does to the victim's state.
+enum class DiskMode {
+  kNone,      ///< Legacy model: actor object retained, perfect memory.
+              ///< Byte-identical to the pre-durability harness.
+  kWithDisk,  ///< kill -9: the actor is rebuilt on recovery and must
+              ///< replay its (in-memory, fault-injecting) WAL+snapshot;
+              ///< unsynced appends are dropped at rebuild.
+  kLosingDisk,  ///< As kWithDisk, plus the run's FIRST crash wipes the
+                ///< victim's storage (one machine replacement). Paxos
+                ///< quorum intersection tolerates f crashes but NOT f
+                ///< disk losses — and even one loss is only safe when
+                ///< elections don't pivot on the wiped node before it
+                ///< catches up, so losing-disk rows should prefer
+                ///< scripted schedules with stable leadership over
+                ///< random chaos (a flagged "violation" there can be
+                ///< legitimate data loss, not a protocol bug).
+};
+
 struct ConformanceConfig {
   std::string name;           ///< Diagnostics only.
   bool use_pig = true;
@@ -67,6 +85,16 @@ struct ConformanceConfig {
   int chaos_rounds = 6;
   TimeNs round_length = 350 * kMillisecond;
   TimeNs quiesce = 4 * kSecond;
+
+  // Durability (src/storage/). kNone leaves PaxosOptions::storage null,
+  // which skips every WAL/snapshot hook — that configuration must stay
+  // byte-identical to the harness before durability existed.
+  DiskMode disk = DiskMode::kNone;
+  size_t snapshot_interval = 0;   ///< PaxosOptions::snapshot_interval.
+  size_t compaction_window = 0;   ///< 0 = never compact (checker scans
+                                  ///< the whole log); nonzero exercises
+                                  ///< snapshot + state-transfer paths
+                                  ///< and gates the full-prefix checks.
 
   /// Scripted scenario (harness/scenario.h). When the schedule is
   /// non-empty it REPLACES the seeded random chaos: the named fault

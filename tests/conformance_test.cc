@@ -91,6 +91,56 @@ std::vector<ConformanceConfig> BuildMatrix() {
   //          name                     pig  batch depth groups drop
   add_sharded("ShardedPig4Groups",     true,  4,   4,    4,   0.00);
   add_sharded("ShardedPaxos4GroupsDrop", false, 1, 1,    4,   0.02);
+  // Durability rows (src/storage/): chaos crashes become kill -9s — the
+  // victim is rebuilt over its fault-injecting MemStorage (unsynced
+  // appends dropped) and must replay snapshot + WAL before rejoining.
+  // Small snapshot/compaction windows keep the state-transfer and
+  // prune paths hot under the same invariant set.
+  auto add_disk = [&](const char* name, bool pig, uint32_t groups,
+                      double drop) {
+    ConformanceConfig c;
+    c.name = name;
+    c.use_pig = pig;
+    c.num_groups = groups;
+    c.num_keys = groups > 1 ? 16 : 8;
+    c.relay_groups = 2;
+    c.disk = DiskMode::kWithDisk;
+    c.snapshot_interval = 8;
+    c.compaction_window = 32;
+    c.drop_probability = drop;
+    configs.push_back(c);
+  };
+  //       name                        pig  groups drop
+  add_disk("PaxosCrashWithDisk",       false, 1,   0.00);
+  add_disk("PaxosCrashWithDiskDrop",   false, 1,   0.02);
+  add_disk("PigCrashWithDisk",         true,  1,   0.00);
+  add_disk("ShardedPaxosCrashWithDisk", false, 4,  0.00);
+  add_disk("ShardedPigCrashWithDisk",  true,  4,   0.00);
+  // Disk-LOSS rows are scripted, not chaotic: quorum intersection
+  // tolerates f crashes but not f disk wipes, so a random schedule can
+  // produce legitimate data loss (wiped node pivots an election before
+  // catching up) that the checker would rightly flag. The script wipes
+  // a node that leads nothing while every leader stays up — the one
+  // regime where a single machine replacement must be invisible.
+  auto add_losing = [&](const char* name, bool pig, uint32_t groups) {
+    ConformanceConfig c;
+    c.name = name;
+    c.use_pig = pig;
+    c.num_groups = groups;
+    c.num_keys = groups > 1 ? 16 : 8;
+    c.relay_groups = 2;
+    c.disk = DiskMode::kLosingDisk;
+    c.snapshot_interval = 8;
+    c.compaction_window = 32;
+    c.scenario.name = "follower-disk-replacement";
+    c.scenario.schedule = {
+        harness::CrashLosingDiskEvent(200 * kMillisecond, 4),
+        harness::RecoverEvent(900 * kMillisecond, 4),
+    };
+    configs.push_back(c);
+  };
+  add_losing("PaxosFollowerLosesDisk", false, 1);
+  add_losing("ShardedPigFollowerLosesDisk", true, 4);
   return configs;
 }
 
@@ -99,7 +149,7 @@ size_t SeedsPerConfig() {
     const long v = std::atol(env);
     if (v > 0) return static_cast<size_t>(v);
   }
-  // 15 seeds x 19 configs = 285 randomized schedules per full run.
+  // 15 seeds x 26 configs = 390 schedules per full run.
   return 15;
 }
 

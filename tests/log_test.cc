@@ -2,6 +2,8 @@
 // execution cursors, gap handling, compaction, snapshot fast-forward.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "log/replicated_log.h"
 
 namespace pig {
@@ -172,6 +174,36 @@ TEST(LogTest, FastForwardThenNormalOperation) {
   ASSERT_EQ(log.NextExecutable().value(), 100);
   log.MarkExecuted(100);
   EXPECT_EQ(log.executed_upto(), 100);
+}
+
+TEST(LogTest, CompactionKeepsLargerThanMemoryLogBounded) {
+  // A log far larger than any replica would hold resident: stream a few
+  // hundred thousand slots through with a PaxosOptions-sized window and
+  // check memory stays bounded by the window, not the history.
+  constexpr SlotId kTotal = 300000;
+  constexpr SlotId kWindow = 4096;
+  ReplicatedLog log;
+  size_t max_resident = 0;
+  for (SlotId s = 0; s < kTotal; ++s) {
+    ASSERT_TRUE(log.Accept(s, Ballot(1, 0), Cmd("k", s + 1)).ok());
+    ASSERT_TRUE(log.Commit(s).ok());
+    log.MarkExecuted(s);
+    if (s >= kWindow && s % (kWindow / 2) == 0) {
+      ASSERT_TRUE(log.CompactUpTo(s - kWindow).ok());
+    }
+    max_resident = std::max(max_resident, log.size_in_memory());
+  }
+  ASSERT_TRUE(log.CompactUpTo(kTotal - 1 - kWindow).ok());
+  EXPECT_LE(max_resident, static_cast<size_t>(2 * kWindow));
+  EXPECT_EQ(log.first_slot(), kTotal - kWindow);
+  EXPECT_EQ(log.size_in_memory(), static_cast<size_t>(kWindow));
+  EXPECT_EQ(log.executed_upto(), kTotal - 1);
+  // The surviving window is fully intact and usable.
+  EXPECT_TRUE(log.Has(kTotal - 1));
+  EXPECT_FALSE(log.Has(kTotal - kWindow - 1));
+  ASSERT_TRUE(log.Accept(kTotal, Ballot(1, 0), Cmd("k", kTotal + 1)).ok());
+  ASSERT_TRUE(log.Commit(kTotal).ok());
+  EXPECT_EQ(log.ContiguousCommitIndex(), kTotal);
 }
 
 TEST(LogTest, NegativeSlotRejected) {

@@ -1,0 +1,78 @@
+// Unit tests for the TCP transport's reconnect pacing policy, including
+// the regression it was factored out for: a successful handshake must
+// reset the failure history even when the completion shared its epoll
+// event with an error flag — otherwise the retry delay stays pinned at
+// reconnect_max across healthy reconnects.
+#include <gtest/gtest.h>
+
+#include "runtime/reconnect_backoff.h"
+
+namespace pig::runtime {
+namespace {
+
+constexpr TimeNs kMin = 50 * kMillisecond;
+constexpr TimeNs kMax = 1 * kSecond;
+
+TEST(ReconnectBackoffTest, ColdPolicyAllowsImmediateDial) {
+  ReconnectBackoff b(kMin, kMax);
+  EXPECT_TRUE(b.CanAttempt(0));
+  EXPECT_EQ(b.current_backoff(), 0);
+  EXPECT_EQ(b.next_attempt_at(), 0);
+}
+
+TEST(ReconnectBackoffTest, FailuresDoubleUpToMax) {
+  ReconnectBackoff b(kMin, kMax);
+  TimeNs expected = kMin;
+  for (int i = 0; i < 10; ++i) {
+    b.NoteFailure(/*now=*/0, /*jitter_source=*/0);
+    EXPECT_EQ(b.current_backoff(), expected) << "failure " << i;
+    expected = std::min(expected * 2, kMax);
+  }
+  EXPECT_EQ(b.current_backoff(), kMax);
+}
+
+TEST(ReconnectBackoffTest, GatesAttemptsUntilScheduledTime) {
+  ReconnectBackoff b(kMin, kMax);
+  const TimeNs at = b.NoteFailure(/*now=*/1000, /*jitter_source=*/0);
+  EXPECT_EQ(at, 1000 + kMin);
+  EXPECT_FALSE(b.CanAttempt(1000));
+  EXPECT_FALSE(b.CanAttempt(at - 1));
+  EXPECT_TRUE(b.CanAttempt(at));
+}
+
+TEST(ReconnectBackoffTest, JitterStaysWithinQuarterBackoff) {
+  for (uint64_t jitter_source : {0ull, 1ull, 12345ull, ~0ull}) {
+    ReconnectBackoff b(kMin, kMax);
+    const TimeNs at = b.NoteFailure(/*now=*/0, jitter_source);
+    EXPECT_GE(at, kMin);
+    EXPECT_LE(at, kMin + kMin / 4);
+  }
+}
+
+// The tcp_cluster.cc regression: a peer is down long enough to pin the
+// backoff at max; its listener comes back and the handshake completes
+// (possibly in the same epoll event as a hangup, when the peer is
+// bouncing). NoteEstablished must fully reset the policy: dials are
+// allowed immediately, and the NEXT failure backs off from min — not
+// from the stale max.
+TEST(ReconnectBackoffTest, EstablishResetsPinnedBackoff) {
+  ReconnectBackoff b(kMin, kMax);
+  TimeNs now = 0;
+  for (int i = 0; i < 8; ++i) {
+    now = b.NoteFailure(now, /*jitter_source=*/0);
+  }
+  ASSERT_EQ(b.current_backoff(), kMax);
+  ASSERT_FALSE(b.CanAttempt(now - 1));
+
+  b.NoteEstablished();
+  EXPECT_TRUE(b.CanAttempt(now));  // no residual scheduled delay
+  EXPECT_EQ(b.current_backoff(), 0);
+  EXPECT_EQ(b.next_attempt_at(), 0);
+
+  // The connection drops again: back to square one, not back to max.
+  b.NoteFailure(now, /*jitter_source=*/0);
+  EXPECT_EQ(b.current_backoff(), kMin);
+}
+
+}  // namespace
+}  // namespace pig::runtime

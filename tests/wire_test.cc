@@ -150,7 +150,7 @@ TEST_F(WireTest, LogSyncRoundTripWithSnapshot) {
   resp.ballot = Ballot(4, 1);
   resp.commit_index = 30;
   resp.snapshot_upto = 25;
-  resp.snapshot = {{"k1", "v1"}, {"k2", std::string(2000, 'x')}};
+  resp.snapshot = {{"k1", "v1", 1}, {"k2", std::string(2000, 'x'), 7}};
   resp.entries.push_back(paxos::AcceptedEntry{
       26, Ballot(4, 1), Command::Put("k3", "v3", kFirstClientId, 9), true});
   auto out = RoundTrip(resp);
@@ -159,7 +159,8 @@ TEST_F(WireTest, LogSyncRoundTripWithSnapshot) {
   EXPECT_TRUE(got.has_snapshot());
   EXPECT_EQ(got.snapshot_upto, 25);
   ASSERT_EQ(got.snapshot.size(), 2u);
-  EXPECT_EQ(got.snapshot[1].second.size(), 2000u);
+  EXPECT_EQ(got.snapshot[1].value.size(), 2000u);
+  EXPECT_EQ(got.snapshot[1].version, 7u);
 }
 
 TEST_F(WireTest, RelayEnvelopesRoundTrip) {
@@ -466,7 +467,7 @@ TEST_F(WireTest, LogSyncClientRecordsRoundTrip) {
   resp.ballot = Ballot(3, 2);
   resp.commit_index = 9;
   resp.snapshot_upto = 9;
-  resp.snapshot.emplace_back("k", "v");
+  resp.snapshot.push_back({"k", "v", 1});
   resp.client_records.push_back(
       paxos::ClientSeqRecord{kFirstClientId, 17, "result", 8});
   resp.client_records.push_back(
@@ -551,7 +552,7 @@ std::map<MsgType, MessagePtr> ExemplarMessages() {
   sync_resp->ballot = Ballot(4, 1);
   sync_resp->commit_index = 30;
   sync_resp->snapshot_upto = 25;
-  sync_resp->snapshot = {{"k1", "v1"}, {"k2", std::string(300, 'x')}};
+  sync_resp->snapshot = {{"k1", "v1", 1}, {"k2", std::string(300, 'x'), 2}};
   sync_resp->entries.push_back(paxos::AcceptedEntry{
       26, Ballot(4, 1), Command::Put("k3", "v3", kFirstClientId, 9), true});
   sync_resp->client_records.push_back(
