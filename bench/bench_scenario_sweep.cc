@@ -104,6 +104,43 @@ void BM_RingFig8(benchmark::State& state) {
 }
 BENCHMARK(BM_RingFig8)->Unit(benchmark::kMillisecond);
 
+/// Adversarial delivery faults on the fig8-shaped WAN run: duplication,
+/// reorder jitter, a one-way partition, and clock skew composed over one
+/// measured PigPaxos run. Gated on sim_completed — the virtual-time
+/// completion count is deterministic per seed, so the gate catches a
+/// protocol change that loses (or double-counts) commands under chaos
+/// without ever comparing wall time.
+void BM_AdversarialSweep(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.name = "adversarial-sweep";
+  spec.topology = harness::Topology::kWanVaCaOr;
+  spec.schedule = {
+      harness::DuplicateLinkEvent(300 * kMillisecond, kInvalidNode,
+                                  kInvalidNode, 0.3),
+      harness::ReorderLinkEvent(300 * kMillisecond, kInvalidNode,
+                                kInvalidNode, 5 * kMillisecond),
+      harness::OneWayPartitionEvent(500 * kMillisecond, 7, kInvalidNode,
+                                    true),
+      harness::ClockSkewEvent(600 * kMillisecond, 3, 1.5),
+      harness::OneWayPartitionEvent(900 * kMillisecond, 7, kInvalidNode,
+                                    false),
+      harness::ClockSkewEvent(1000 * kMillisecond, 3, 1.0),
+  };
+  harness::ExperimentConfig cfg = SweepBase(800 * kMillisecond);
+  cfg.protocol = Protocol::kPigPaxos;
+  uint64_t completed = 0;
+  harness::RunResult r;
+  for (auto _ : state) {
+    r = RunScenario(spec, cfg);
+    completed += r.completed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+  state.counters["sim_completed"] = static_cast<double>(r.completed);
+  state.counters["sim_req_s"] = r.throughput;
+  state.counters["timeouts"] = static_cast<double>(r.timeouts);
+}
+BENCHMARK(BM_AdversarialSweep)->Unit(benchmark::kMillisecond);
+
 // --- Manual full sweep -----------------------------------------------------
 
 int RunFullSweep(const std::string& path) {

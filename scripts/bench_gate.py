@@ -84,9 +84,14 @@ PINNED_BY_BINARY = {
     # (PigPaxos + Ring baseline under an identical scripted schedule) and
     # the fig8-shaped ring-pipeline run. The full cross-product sweep is
     # manual: bench_scenario_sweep --full-sweep=<path>.
+    # BM_AdversarialSweep (PR 9) composes the delivery-fault layer
+    # (duplication + reorder + one-way partition + clock skew) over one
+    # measured WAN run; it is gated on the deterministic sim_completed
+    # counter (see COMPLETION_COUNTERS), never on wall latency.
     "bench_scenario_sweep": [
         "BM_ScenarioSweepSmoke",
         "BM_RingFig8",
+        "BM_AdversarialSweep",
     ],
     # TCP runtime (PR 6): fig8-shaped 9-node PigPaxos cluster over real
     # loopback sockets. Completion-gated (see COMPLETION_COUNTERS), not
@@ -122,6 +127,7 @@ PINNED = [name for names in PINNED_BY_BINARY.values() for name in names]
 # completion count; sim_req_s is virtual-time throughput — both are
 # deterministic per seed, so the comparison has no tolerance.
 COMPLETION_COUNTERS = {
+    "BM_AdversarialSweep": "sim_completed",
     "BM_TcpFig8Shape/iterations:1/real_time": "committed_ops",
     "BM_ShardedFig8Shape/groups:1": "sim_req_s",
     "BM_ShardedFig8Shape/groups:4": "sim_req_s",

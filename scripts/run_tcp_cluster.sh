@@ -22,6 +22,11 @@
 #                      wal-recovery line) that it recovered a nonempty
 #                      committed prefix from disk — i.e. peers supplied
 #                      only the bounded LogSync delta, not the full log
+#   --scenario FILE    scenario pack (scenarios/*.json) every replica
+#                      loads and validates at startup; the script asserts
+#                      each node logged its scenario-loaded line. The TCP
+#                      runtime checks the pack, it does not execute the
+#                      virtual-time schedule (the simulator harness does)
 #
 # Exits 0 iff the client commits all --ops commands and the read-back
 # verifies; replica logs land in a temp dir printed on failure.
@@ -36,6 +41,7 @@ RELAY_GROUPS=3
 NUM_GROUPS=1
 KILL_RELAY=0
 DATA_DIR=""
+SCENARIO=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -48,6 +54,7 @@ while [[ $# -gt 0 ]]; do
     --groups) NUM_GROUPS="$2"; shift 2 ;;
     --kill-relay) KILL_RELAY=1; shift ;;
     --data-dir) DATA_DIR="$2"; shift 2 ;;
+    --scenario) SCENARIO="$2"; shift 2 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -90,12 +97,19 @@ node_durable_args() {
   fi
 }
 
+scenario_args() {
+  if [[ -n "${SCENARIO}" ]]; then
+    echo "--scenario=${SCENARIO}"
+  fi
+}
+
 launch_node() {
   local id="$1"
   # shellcheck disable=SC2046  # durable args intentionally word-split
   "${PIG_NODE}" --node-id="${id}" --peers="${PEERS}" \
       --protocol="${PROTOCOL}" --relay-groups="${RELAY_GROUPS}" \
       --num-groups="${NUM_GROUPS}" $(node_durable_args "${id}") \
+      $(scenario_args) \
       > "${LOG_DIR}/node${id}.log" 2>&1 &
   PIDS[id]=$!
 }
@@ -134,6 +148,20 @@ if [[ "${KILL_RELAY}" -eq 1 ]]; then
 fi
 
 sleep 0.3  # let the replicas bind before the client dials
+
+if [[ -n "${SCENARIO}" ]]; then
+  # Every replica must have accepted the pack; a node that rejected it
+  # exits before binding, so its log has the error and no loaded line.
+  for ((i = 0; i < NODES; i++)); do
+    if ! grep -q "scenario-loaded name=" "${LOG_DIR}/node${i}.log"; then
+      echo "FAIL: node ${i} did not load scenario ${SCENARIO}:" >&2
+      cat "${LOG_DIR}/node${i}.log" >&2
+      exit 1
+    fi
+  done
+  echo "scenario ${SCENARIO} validated by all ${NODES} nodes"
+fi
+
 echo "Running client: ${OPS} ops"
 set +e
 CLIENT_OUT="$("${PIG_NODE}" --client --peers="${PEERS}" \

@@ -1,6 +1,7 @@
 #include "epaxos/replica.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/logging.h"
@@ -15,7 +16,67 @@ size_t EPaxosReplica::FastQuorumSize(size_t n) {
 EPaxosReplica::EPaxosReplica(NodeId id, EPaxosOptions options)
     : id_(id), options_(options) {
   assert(options_.num_replicas > 0);
+  assert(options_.num_replicas <= 64 && "LeaderState voter masks");
   instances_.resize(options_.num_replicas);
+}
+
+void EPaxosReplica::OnStart() {
+  if (options_.retry_interval > 0 && options_.num_replicas > 1) {
+    env_->SetTimer(options_.retry_interval, [this] { RetryTick(); });
+  }
+}
+
+void EPaxosReplica::RetryTick() {
+  if (!leading_.empty()) {
+    // Sorted snapshot: hash-map order must not leak into message order.
+    std::vector<InstanceId> pending;
+    pending.reserve(leading_.size());
+    for (const auto& [id, ls] : leading_) pending.push_back(id);
+    std::sort(pending.begin(), pending.end());
+    for (const InstanceId& id : pending) {
+      const LeaderState& ls = leading_.find(id)->second;
+      const Instance* inst = FindInstance(id);
+      if (inst == nullptr || inst->status >= InstStatus::kCommitted) {
+        continue;
+      }
+      metrics_.retries++;
+      if (ls.in_accept_phase) {
+        auto acc = std::make_shared<EAccept>();
+        acc->ballot = inst->ballot;
+        acc->inst = id;
+        acc->cmd = inst->cmd;
+        acc->seq = inst->seq;
+        acc->deps = inst->deps;
+        Broadcast(acc);
+      } else {
+        auto pa = std::make_shared<PreAccept>();
+        pa->ballot = inst->ballot;
+        pa->inst = id;
+        pa->cmd = inst->cmd;
+        pa->seq = inst->seq;
+        pa->deps = inst->deps;
+        Broadcast(pa);
+      }
+    }
+  }
+  for (auto& [id, left] : commit_recast_) {
+    const Instance* inst = FindInstance(id);
+    if (inst == nullptr) {
+      left = 0;
+      continue;
+    }
+    auto commit = std::make_shared<ECommit>();
+    commit->inst = id;
+    commit->cmd = inst->cmd;
+    commit->seq = inst->seq;
+    commit->deps = inst->deps;
+    Broadcast(commit);
+    metrics_.retries++;
+    --left;
+  }
+  std::erase_if(commit_recast_,
+                [](const auto& e) { return e.second == 0; });
+  env_->SetTimer(options_.retry_interval, [this] { RetryTick(); });
 }
 
 void EPaxosReplica::OnMessage(NodeId from, const MessagePtr& msg) {
@@ -59,6 +120,18 @@ const EPaxosReplica::Instance* EPaxosReplica::FindInstance(
   const auto& space = instances_[id.replica];
   auto it = space.find(id.index);
   return it == space.end() ? nullptr : &it->second;
+}
+
+void EPaxosReplica::ForEachCommitted(
+    const std::function<void(const InstanceId&, const Instance&)>& fn)
+    const {
+  for (size_t r = 0; r < instances_.size(); ++r) {
+    for (const auto& [index, inst] : instances_[r]) {
+      if (inst.status >= InstStatus::kCommitted) {
+        fn(InstanceId{static_cast<NodeId>(r), index}, inst);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -179,12 +252,17 @@ void EPaxosReplica::HandlePreAccept(NodeId from, const PreAccept& msg) {
   if (seq != msg.seq || deps != msg.deps) metrics_.conflicts++;
 
   Instance& inst = Materialize(msg.inst);
-  if (inst.status < InstStatus::kCommitted) {
+  if (inst.status <= InstStatus::kPreAccepted) {
     inst.cmd = msg.cmd;
     inst.seq = seq;
     inst.deps = deps;
     inst.status = InstStatus::kPreAccepted;
     inst.ballot = msg.ballot;
+  } else {
+    // A retried/duplicated PreAccept for an instance already past this
+    // phase must not regress it; reply from the agreed state instead.
+    seq = inst.seq;
+    deps = inst.deps;
   }
   RecordAttributes(msg.inst, msg.cmd, seq);
 
@@ -208,7 +286,9 @@ void EPaxosReplica::HandlePreAcceptReply(const PreAcceptReply& msg) {
   Instance* inst = &Materialize(msg.inst);
   if (inst->status >= InstStatus::kCommitted) return;
 
-  ls.preaccept_replies++;
+  const uint64_t bit = 1ull << msg.sender;
+  if (ls.preaccept_mask & bit) return;  // duplicated delivery
+  ls.preaccept_mask |= bit;
   if (msg.seq != inst->seq || msg.deps != inst->deps) {
     ls.attrs_unchanged = false;
   }
@@ -216,7 +296,9 @@ void EPaxosReplica::HandlePreAcceptReply(const PreAcceptReply& msg) {
   UnionDeps(ls.union_deps, msg.deps);
 
   const size_t fast_q = FastQuorumSize(options_.num_replicas);
-  if (ls.preaccept_replies + 1 < fast_q) return;
+  if (static_cast<size_t>(std::popcount(ls.preaccept_mask)) + 1 < fast_q) {
+    return;
+  }
 
   if (ls.attrs_unchanged) {
     metrics_.fast_path_commits++;
@@ -227,7 +309,7 @@ void EPaxosReplica::HandlePreAcceptReply(const PreAcceptReply& msg) {
 
   // Slow path: Paxos-Accept on the union attributes.
   ls.in_accept_phase = true;
-  ls.accept_oks = 0;
+  ls.accept_mask = 0;
   inst->seq = std::max(ls.max_seq, inst->seq);
   inst->deps = ls.union_deps;
   inst->status = InstStatus::kAccepted;
@@ -267,8 +349,13 @@ void EPaxosReplica::HandleEAcceptReply(const EAcceptReply& msg) {
   if (it == leading_.end()) return;
   LeaderState& ls = it->second;
   if (!ls.in_accept_phase) return;
-  ls.accept_oks++;
-  if (ls.accept_oks + 1 < SlowQuorumSize(options_.num_replicas)) return;
+  const uint64_t bit = 1ull << msg.sender;
+  if (ls.accept_mask & bit) return;  // duplicated delivery
+  ls.accept_mask |= bit;
+  if (static_cast<size_t>(std::popcount(ls.accept_mask)) + 1 <
+      SlowQuorumSize(options_.num_replicas)) {
+    return;
+  }
 
   Instance& inst = Materialize(msg.inst);
   metrics_.slow_path_commits++;
@@ -299,6 +386,9 @@ void EPaxosReplica::CommitInstance(const InstanceId& id, const Command& cmd,
     commit->seq = seq;
     commit->deps = deps;
     Broadcast(commit);
+    if (options_.retry_interval > 0 && options_.commit_rebroadcasts > 0) {
+      commit_recast_.emplace_back(id, options_.commit_rebroadcasts);
+    }
   }
 
   exec_pending_.insert(id);
@@ -429,19 +519,56 @@ void EPaxosReplica::TryExecute(const InstanceId& root) {
   }
 }
 
+bool EPaxosReplica::MarkApplied(NodeId client, uint64_t seq) {
+  AppliedWindow& w = applied_[client];
+  if (!w.seqs.insert(seq).second) return false;
+  if (seq > w.max_seq) w.max_seq = seq;
+  if (w.seqs.size() > 8192 && w.max_seq > 4096) {
+    const uint64_t floor = w.max_seq - 4096;
+    std::erase_if(w.seqs, [floor](uint64_t s) { return s < floor; });
+  }
+  return true;
+}
+
 void EPaxosReplica::ExecuteInstance(const InstanceId& id, Instance& inst) {
-  std::string value = store_.Apply(inst.cmd);
   inst.status = InstStatus::kExecuted;
   metrics_.executions++;
   exec_pending_.erase(id);
 
   const Command& cmd = inst.cmd;
-  if (id.replica == id_ && !cmd.IsNoop() && cmd.client != kInvalidNode) {
+  const bool tracked = !cmd.IsNoop() && cmd.client != kInvalidNode;
+  if (tracked && !MarkApplied(cmd.client, cmd.seq)) {
+    // Second committed instance of a resent command (the client timed
+    // out and re-issued at another replica): the state machine must see
+    // it exactly once. Still ack when we lead this duplicate — the
+    // client is waiting on precisely this resend.
+    metrics_.dup_exec_skips++;
+    if (id.replica == id_) {
+      auto pend = client_pending_.find(cmd.client);
+      if (pend != client_pending_.end() && pend->second.first <= cmd.seq) {
+        client_pending_.erase(pend);
+      }
+      const ClientRecord& rec = client_records_[cmd.client];
+      auto reply = std::make_shared<pig::ClientReply>();
+      reply->seq = cmd.seq;
+      reply->code = StatusCode::kOk;
+      if (rec.seq == cmd.seq) reply->value = rec.value;
+      env_->Send(cmd.client, std::move(reply));
+    }
+    return;
+  }
+
+  std::string value = store_.Apply(cmd);
+  if (tracked) {
+    // Every replica keeps the record (any of them can field the client's
+    // next retry); only the instance owner replies.
     ClientRecord& rec = client_records_[cmd.client];
     if (cmd.seq > rec.seq) {
       rec.seq = cmd.seq;
       rec.value = value;
     }
+  }
+  if (id.replica == id_ && tracked) {
     auto pend = client_pending_.find(cmd.client);
     if (pend != client_pending_.end() && pend->second.first <= cmd.seq) {
       client_pending_.erase(pend);

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,23 @@ struct EPaxosOptions {
   TimeNs attr_cost = 60 * kMicrosecond;        ///< Per instance table op.
   TimeNs exec_node_cost = 250 * kMicrosecond;  ///< Per graph node visited.
   TimeNs exec_edge_cost = 80 * kMicrosecond;   ///< Per dependency edge.
+
+  /// When > 0, instances this replica leads that have not committed
+  /// after an interval get their current phase message re-broadcast —
+  /// the minimum retransmission needed to survive lossy/asymmetric
+  /// networks (a lost PreAccept otherwise wedges the instance forever,
+  /// and every later conflicting instance deps-waits on it). 0 (the
+  /// default) keeps the original fire-and-forget behaviour and
+  /// byte-identical traces.
+  TimeNs retry_interval = 0;
+
+  /// With retry_interval > 0: how many retry ticks keep re-broadcasting
+  /// ECommit for an instance this replica committed as leader. Commits
+  /// are fire-and-forget, so a lost ECommit otherwise wedges the peer
+  /// that missed it (its later conflicting instances deps-wait forever).
+  /// Bounded: the budget should cover the longest expected outage window
+  /// (budget * retry_interval), not run unbounded.
+  uint32_t commit_rebroadcasts = 0;
 };
 
 struct EPaxosMetrics {
@@ -61,13 +79,16 @@ struct EPaxosMetrics {
   uint64_t executions = 0;
   uint64_t conflicts = 0;      ///< PreAccepts that mutated attributes.
   uint64_t deferred_executions = 0;  ///< Waits on uncommitted deps.
+  uint64_t retries = 0;        ///< Phase re-broadcasts (retry_interval).
+  uint64_t dup_exec_skips = 0;  ///< Same (client, seq) committed twice
+                                ///< (client resend); applied only once.
 };
 
 class EPaxosReplica : public Actor {
  public:
   EPaxosReplica(NodeId id, EPaxosOptions options);
 
-  void OnStart() override {}
+  void OnStart() override;
   void OnMessage(NodeId from, const MessagePtr& msg) override;
 
   const EPaxosMetrics& metrics() const { return metrics_; }
@@ -97,13 +118,22 @@ class EPaxosReplica : public Actor {
   const Instance* FindInstance(const InstanceId& id) const;
   size_t committed_unexecuted() const { return exec_pending_.size(); }
 
+  /// Visits every locally committed-or-executed instance (conformance
+  /// checking: instance agreement + exactly-once across replicas).
+  void ForEachCommitted(
+      const std::function<void(const InstanceId&, const Instance&)>& fn)
+      const;
+
  private:
   struct LeaderState {
-    size_t preaccept_replies = 0;  // excluding self
+    // Voter bitmasks, not counters: a duplicated reply delivery (network
+    // duplication faults, or our own phase retries) must not be able to
+    // fake a quorum. Excludes self; num_replicas <= 64 is asserted.
+    uint64_t preaccept_mask = 0;
     bool attrs_unchanged = true;
     uint64_t max_seq = 0;
     DepSet union_deps;
-    size_t accept_oks = 0;  // excluding self
+    uint64_t accept_mask = 0;
     bool in_accept_phase = false;
   };
 
@@ -137,6 +167,14 @@ class EPaxosReplica : public Actor {
   void ExecuteInstance(const InstanceId& id, Instance& inst);
   void WakeWaiters(const InstanceId& id);
 
+  /// Marks (client, seq) applied; false when it already was (a resent
+  /// command that committed in two instances must apply only once).
+  bool MarkApplied(NodeId client, uint64_t seq);
+
+  /// Re-broadcasts the current phase of every still-uncommitted led
+  /// instance, then re-arms itself (retry_interval > 0 only).
+  void RetryTick();
+
   void Broadcast(const MessagePtr& msg);
 
   const NodeId id_;
@@ -149,6 +187,11 @@ class EPaxosReplica : public Actor {
   std::vector<std::unordered_map<uint64_t, Instance>> instances_;
   std::unordered_map<InstanceId, LeaderState, InstanceIdHash> leading_;
   std::unordered_map<std::string, KeyInfo> keys_;
+
+  // Led instances whose ECommit still gets re-broadcast for a few retry
+  // ticks (commit_rebroadcasts > 0 only). Insertion-ordered, so the
+  // re-send order is deterministic.
+  std::vector<std::pair<InstanceId, uint32_t>> commit_recast_;
 
   // Execution machinery.
   std::unordered_set<InstanceId, InstanceIdHash> exec_pending_;
@@ -163,6 +206,19 @@ class EPaxosReplica : public Actor {
   std::unordered_map<NodeId, ClientRecord> client_records_;
   std::unordered_map<NodeId, std::pair<uint64_t, InstanceId>>
       client_pending_;
+
+  // Apply-time exactly-once window. Unlike Multi-Paxos, two instances
+  // can legitimately commit the same (client, seq) — the client timed
+  // out and re-issued at another replica — and instances from one client
+  // on unrelated keys execute in different orders at different replicas,
+  // so a monotone high-water mark is NOT a correct filter. An exact
+  // applied-seq set is; it is pruned far below the per-client max (a
+  // sequential client keeps at most a few seqs in flight).
+  struct AppliedWindow {
+    uint64_t max_seq = 0;
+    std::unordered_set<uint64_t> seqs;
+  };
+  std::unordered_map<NodeId, AppliedWindow> applied_;
 };
 
 }  // namespace pig::epaxos

@@ -110,6 +110,37 @@ void ScheduleScenario(const ScenarioSpec& spec, const ScenarioRuntime& rt,
           }
         });
         break;
+      case FaultKind::kOneWayDown:
+      case FaultKind::kOneWayRestore: {
+        const bool down = e.kind == FaultKind::kOneWayDown;
+        cluster.scheduler().ScheduleAt(
+            e.at, [c, down, from = e.node, to = e.peer] {
+              if (to == kInvalidNode) {
+                c->network().SetOneWayDown(from, down);
+              } else {
+                c->network().SetLinkDown(from, to, down);
+              }
+            });
+        break;
+      }
+      case FaultKind::kDuplicateLink:
+        cluster.scheduler().ScheduleAt(
+            e.at, [c, from = e.node, to = e.peer, p = e.value] {
+              c->network().SetLinkDuplicate(from, to, p);
+            });
+        break;
+      case FaultKind::kReorderLink:
+        cluster.scheduler().ScheduleAt(
+            e.at, [c, from = e.node, to = e.peer, w = e.extra_latency] {
+              c->network().SetLinkReorder(from, to, w);
+            });
+        break;
+      case FaultKind::kClockSkew:
+        cluster.scheduler().ScheduleAt(
+            e.at, [c, node = e.node, factor = e.value] {
+              c->SetClockSkew(node, factor);
+            });
+        break;
       case FaultKind::kCrashGroupLeader:
         // The leader is resolved at fire time, not schedule time: by the
         // time the event fires, elections may have moved the group's
@@ -146,6 +177,22 @@ void HealScenario(const ScenarioSpec& spec, const ScenarioRuntime& rt,
     switch (e.kind) {
       case FaultKind::kLinkDown:
         cluster.network().SetLinkDown(e.node, e.peer, false);
+        break;
+      case FaultKind::kOneWayDown:
+        if (e.peer == kInvalidNode) {
+          cluster.network().SetOneWayDown(e.node, false);
+        } else {
+          cluster.network().SetLinkDown(e.node, e.peer, false);
+        }
+        break;
+      case FaultKind::kDuplicateLink:
+      case FaultKind::kReorderLink:
+        // A per-link slot snapshots the global defaults when created, so
+        // per-event zeroing can leave residue; wipe the whole table.
+        cluster.network().ClearLinkFaults();
+        break;
+      case FaultKind::kClockSkew:
+        cluster.SetClockSkew(e.node, 1.0);
         break;
       case FaultKind::kGraySlowStart:
         if (rt.sluggish) rt.sluggish->ClearSluggish(e.node);

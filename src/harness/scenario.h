@@ -52,6 +52,19 @@ enum class FaultKind {
                      ///< replay snapshot + WAL from its Storage.
   kCrashLosingDisk,  ///< Machine replacement: like kCrashWithDisk but
                      ///< storage is wiped; node catches up from peers.
+  kOneWayDown,     ///< Asymmetric partition: `node`'s sends to `peer` are
+                   ///< lost while the reverse direction keeps delivering.
+                   ///< peer == kInvalidNode mutes ALL of `node`'s sends.
+  kOneWayRestore,  ///< Undo the matching kOneWayDown.
+  kDuplicateLink,  ///< Duplicate messages on `node` -> `peer` with
+                   ///< probability `value` (both kInvalidNode = every
+                   ///< link; value 0 disarms).
+  kReorderLink,    ///< Reorder jitter on `node` -> `peer`: every message
+                   ///< gets an extra uniform latency in
+                   ///< [0, extra_latency], letting later sends overtake
+                   ///< earlier ones (wildcards as above; 0 disarms).
+  kClockSkew,      ///< Multiply `node`'s timer delays by `value`
+                   ///< (> 1 = slow clock, < 1 = fast; 1.0 restores).
 };
 
 /// One scripted fault at an absolute virtual time (measured from run
@@ -63,6 +76,8 @@ struct FaultEvent {
   NodeId peer = kInvalidNode;  ///< link-to.
   std::vector<int> partition_groups;  ///< kPartition: group per replica.
   uint32_t group = 0;  ///< kCrashGroupLeader: target consensus group.
+  double value = 0.0;  ///< kDuplicateLink probability / kClockSkew factor.
+  TimeNs extra_latency = 0;  ///< kReorderLink: max extra one-way latency.
 };
 
 // Event factories: schedules read as data tables.
@@ -133,6 +148,51 @@ inline FaultEvent CrashLosingDiskEvent(TimeNs at, NodeId node) {
   e.at = at;
   e.kind = FaultKind::kCrashLosingDisk;
   e.node = node;
+  return e;
+}
+/// One-way partition of `from` -> `to` (to == kInvalidNode: all of
+/// `from`'s outbound traffic). `down` = cut vs. restore.
+inline FaultEvent OneWayPartitionEvent(TimeNs at, NodeId from, NodeId to,
+                                       bool down) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = down ? FaultKind::kOneWayDown : FaultKind::kOneWayRestore;
+  e.node = from;
+  e.peer = to;
+  return e;
+}
+/// Message duplication on `from` -> `to` with `probability` per message
+/// (both kInvalidNode = every link; probability 0 disarms).
+inline FaultEvent DuplicateLinkEvent(TimeNs at, NodeId from, NodeId to,
+                                     double probability) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDuplicateLink;
+  e.node = from;
+  e.peer = to;
+  e.value = probability;
+  return e;
+}
+/// Reorder jitter on `from` -> `to`: uniform extra latency in
+/// [0, max_extra] per message (wildcards as above; 0 disarms).
+inline FaultEvent ReorderLinkEvent(TimeNs at, NodeId from, NodeId to,
+                                   TimeNs max_extra) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kReorderLink;
+  e.node = from;
+  e.peer = to;
+  e.extra_latency = max_extra;
+  return e;
+}
+/// Multiplies `node`'s timer delays by `factor` from `at` on (1.0
+/// restores an honest clock).
+inline FaultEvent ClockSkewEvent(TimeNs at, NodeId node, double factor) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kClockSkew;
+  e.node = node;
+  e.value = factor;
   return e;
 }
 

@@ -32,7 +32,8 @@ int Network::PartitionGroupOf(NodeId node) const {
 }
 
 std::optional<TimeNs> Network::Transfer(NodeId from, NodeId to,
-                                        size_t bytes) {
+                                        size_t bytes,
+                                        TimeNs* duplicate_latency) {
   TrafficStats& s = StatsSlot(from);
   s.msgs_sent++;
   s.bytes_sent += bytes;
@@ -44,12 +45,34 @@ std::optional<TimeNs> Network::Transfer(NodeId from, NodeId to,
   }
   if ((partitioned_ && PartitionGroupOf(from) != PartitionGroupOf(to)) ||
       (!links_down_.empty() && links_down_.contains(PackLink(from, to))) ||
+      (!outbound_down_.empty() && outbound_down_.contains(from)) ||
       (options_.drop_probability > 0 &&
        rng_.NextBool(options_.drop_probability))) {
     dropped_++;
     return std::nullopt;
   }
-  return options_.latency->Sample(from, to, rng_);
+  TimeNs latency = options_.latency->Sample(from, to, rng_);
+  if (delivery_faults_) {
+    const LinkFaults& f = FaultsFor(from, to);
+    if (f.reorder_window > 0) {
+      latency += static_cast<TimeNs>(
+          rng_.NextBounded(static_cast<uint64_t>(f.reorder_window) + 1));
+      reordered_++;
+    }
+    if (duplicate_latency != nullptr && f.duplicate_probability > 0 &&
+        rng_.NextBool(f.duplicate_probability)) {
+      // The copy's latency (and jitter) is sampled independently, so the
+      // duplicate can arrive before or after — or far from — the original.
+      TimeNs dup = options_.latency->Sample(from, to, rng_);
+      if (f.reorder_window > 0) {
+        dup += static_cast<TimeNs>(
+            rng_.NextBounded(static_cast<uint64_t>(f.reorder_window) + 1));
+      }
+      *duplicate_latency = dup;
+      duplicated_++;
+    }
+  }
+  return latency;
 }
 
 void Network::RecordDelivery(NodeId to, size_t bytes) {
@@ -82,6 +105,57 @@ bool Network::IsLinkDown(NodeId from, NodeId to) const {
   return links_down_.contains(PackLink(from, to));
 }
 
+void Network::SetOneWayDown(NodeId from, bool down) {
+  if (down) {
+    outbound_down_.insert(from);
+  } else {
+    outbound_down_.erase(from);
+  }
+}
+
+bool Network::IsOneWayDown(NodeId from) const {
+  return outbound_down_.contains(from);
+}
+
+const LinkFaults& Network::FaultsFor(NodeId from, NodeId to) const {
+  const uint64_t key = PackLink(from, to);
+  for (const auto& [link, faults] : link_faults_) {
+    if (link == key) return faults;
+  }
+  return global_faults_;
+}
+
+LinkFaults& Network::MutableFaults(NodeId from, NodeId to) {
+  if (from == kInvalidNode && to == kInvalidNode) return global_faults_;
+  const uint64_t key = PackLink(from, to);
+  for (auto& [link, faults] : link_faults_) {
+    if (link == key) return faults;
+  }
+  return link_faults_.emplace_back(key, global_faults_).second;
+}
+
+void Network::CompactLinkFaults() {
+  std::erase_if(link_faults_,
+                [](const auto& entry) { return entry.second.none(); });
+  delivery_faults_ = !global_faults_.none() || !link_faults_.empty();
+}
+
+void Network::SetLinkDuplicate(NodeId from, NodeId to, double probability) {
+  MutableFaults(from, to).duplicate_probability = probability;
+  CompactLinkFaults();
+}
+
+void Network::SetLinkReorder(NodeId from, NodeId to, TimeNs window) {
+  MutableFaults(from, to).reorder_window = window;
+  CompactLinkFaults();
+}
+
+void Network::ClearLinkFaults() {
+  global_faults_ = LinkFaults{};
+  link_faults_.clear();
+  delivery_faults_ = false;
+}
+
 const TrafficStats& Network::StatsFor(NodeId node) const {
   static const TrafficStats kEmpty;
   const std::vector<TrafficStats>& stats =
@@ -110,6 +184,8 @@ void Network::ResetStats() {
   cross_region_msgs_ = 0;
   cross_region_bytes_ = 0;
   dropped_ = 0;
+  duplicated_ = 0;
+  reordered_ = 0;
 }
 
 }  // namespace pig::net

@@ -26,6 +26,18 @@ struct NetworkOptions {
   double drop_probability = 0.0;          ///< Uniform i.i.d. message loss.
 };
 
+/// Delivery faults for one directed link (or, via the wildcard setters,
+/// for every link): independent per-message duplication and a bounded
+/// uniform extra-latency window. The window reorders traffic because two
+/// messages sent back-to-back draw independent extras, so the second can
+/// overtake the first.
+struct LinkFaults {
+  double duplicate_probability = 0.0;
+  TimeNs reorder_window = 0;
+
+  bool none() const { return duplicate_probability <= 0 && reorder_window <= 0; }
+};
+
 /// Per-node traffic counters (messages counted at the application layer:
 /// one protocol message = one count, regardless of size).
 struct TrafficStats {
@@ -40,9 +52,16 @@ class Network {
   explicit Network(NetworkOptions options, uint64_t seed = 42);
 
   /// Decides the fate of one message: nullopt if it is lost (random drop,
-  /// partition, downed link), otherwise its one-way latency. Records
-  /// sender-side stats either way (the sender did the work).
-  std::optional<TimeNs> Transfer(NodeId from, NodeId to, size_t bytes);
+  /// partition, downed link, one-way partition), otherwise its one-way
+  /// latency. Records sender-side stats either way (the sender did the
+  /// work). When `duplicate_latency` is non-null and the link's
+  /// duplication fault fires, it receives the (independently sampled)
+  /// latency of a second delivery of the same message; it is left
+  /// untouched otherwise. With no delivery faults armed this consumes
+  /// exactly the RNG draws it did before faults existed, so fault-free
+  /// runs stay byte-identical.
+  std::optional<TimeNs> Transfer(NodeId from, NodeId to, size_t bytes,
+                                 TimeNs* duplicate_latency = nullptr);
 
   /// Records successful delivery (receiver-side stats).
   void RecordDelivery(NodeId to, size_t bytes);
@@ -57,6 +76,26 @@ class Network {
   void SetLinkDown(NodeId from, NodeId to, bool down);
   bool IsLinkDown(NodeId from, NodeId to) const;
 
+  /// One-way partition: everything `from` sends is lost while traffic
+  /// *to* it still delivers — the asymmetric failure a symmetric
+  /// partition can't express (a node that hears the world but is mute).
+  void SetOneWayDown(NodeId from, bool down);
+  bool IsOneWayDown(NodeId from) const;
+
+  /// Arms per-message duplication on the directed link `from`->`to`
+  /// (probability 0 disarms). Passing kInvalidNode for both endpoints
+  /// sets the global default; a per-link entry snapshots the global
+  /// default when first created and overrides it for that link from
+  /// then on.
+  void SetLinkDuplicate(NodeId from, NodeId to, double probability);
+  /// Arms reorder jitter on `from`->`to`: each delivery gets an extra
+  /// uniform latency in [0, window], so later sends can overtake earlier
+  /// ones. Window 0 disarms. Wildcards as in SetLinkDuplicate.
+  void SetLinkReorder(NodeId from, NodeId to, TimeNs window);
+
+  /// Disarms every duplication/reorder fault (global and per-link).
+  void ClearLinkFaults();
+
   void set_drop_probability(double p) { options_.drop_probability = p; }
 
   // --- Introspection --------------------------------------------------
@@ -67,6 +106,8 @@ class Network {
   uint64_t cross_region_msgs() const { return cross_region_msgs_; }
   uint64_t cross_region_bytes() const { return cross_region_bytes_; }
   uint64_t dropped_msgs() const { return dropped_; }
+  uint64_t duplicated_msgs() const { return duplicated_; }
+  uint64_t reordered_msgs() const { return reordered_; }
   const LatencyModel& latency_model() const { return *options_.latency; }
   void ResetStats();
 
@@ -78,6 +119,14 @@ class Network {
   /// Dense counter slot for `node`, grown on first touch.
   TrafficStats& StatsSlot(NodeId node);
   int PartitionGroupOf(NodeId node) const;
+  /// Effective delivery faults for one directed link (per-link entry if
+  /// present, global default otherwise).
+  const LinkFaults& FaultsFor(NodeId from, NodeId to) const;
+  /// Mutable fault slot for a setter call; wildcard endpoints address the
+  /// global default.
+  LinkFaults& MutableFaults(NodeId from, NodeId to);
+  /// Drops all-zero per-link entries and recomputes the fast-path flag.
+  void CompactLinkFaults();
 
   NetworkOptions options_;
   Rng rng_;
@@ -88,9 +137,18 @@ class Network {
   std::vector<int> client_group_;
   bool partitioned_ = false;  // fast path: skip group lookups entirely
   FlatSet64 links_down_;
+  FlatSet64 outbound_down_;  // one-way partitioned senders
+  // Delivery faults: a handful of scripted entries at most, so a linear
+  // scan beats a hash map; `delivery_faults_` keeps the fault-free hot
+  // path free of scans *and* of extra RNG draws.
+  LinkFaults global_faults_;
+  std::vector<std::pair<uint64_t, LinkFaults>> link_faults_;
+  bool delivery_faults_ = false;
   uint64_t cross_region_msgs_ = 0;
   uint64_t cross_region_bytes_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t reordered_ = 0;
 };
 
 }  // namespace pig::net

@@ -534,18 +534,20 @@ void PaxosReplica::HandleClientRequest(NodeId from,
 }
 
 void PaxosReplica::Propose(const Command& cmd, NodeId client) {
-  // Dedup: already executed?
-  auto rec = client_records_.find(client);
-  if (rec != client_records_.end() && cmd.seq <= rec->second.seq) {
-    const ClientRecord& r = rec->second;
-    ReplyToClient(client, cmd.seq, StatusCode::kOk,
-                  cmd.seq == r.seq ? r.value : "", r.slot);
-    return;
+  if (!options_.test_fault_no_client_dedup) {
+    // Dedup: already executed?
+    auto rec = client_records_.find(client);
+    if (rec != client_records_.end() && cmd.seq <= rec->second.seq) {
+      const ClientRecord& r = rec->second;
+      ReplyToClient(client, cmd.seq, StatusCode::kOk,
+                    cmd.seq == r.seq ? r.value : "", r.slot);
+      return;
+    }
+    // Dedup: already in flight?
+    auto pend = client_pending_.find(client);
+    if (pend != client_pending_.end() && pend->second == cmd.seq) return;
+    client_pending_[client] = cmd.seq;
   }
-  // Dedup: already in flight?
-  auto pend = client_pending_.find(client);
-  if (pend != client_pending_.end() && pend->second == cmd.seq) return;
-  client_pending_[client] = cmd.seq;
 
   metrics_.proposals++;
   if (!PipelineEngaged()) {
@@ -734,7 +736,7 @@ void PaxosReplica::ExecuteOne(const Command& cmd, SlotId slot) {
   // re-applied after an interleaved overwrite resurrects a dead value.
   if (!cmd.IsNoop() && cmd.client != kInvalidNode) {
     ClientRecord& rec = client_records_[cmd.client];
-    if (cmd.seq <= rec.seq) {
+    if (!options_.test_fault_no_client_dedup && cmd.seq <= rec.seq) {
       if (role_ == Role::kLeader) {
         // Duplicate of an executed command: reply from the record cache.
         ReplyToClient(cmd.client, cmd.seq, StatusCode::kOk,

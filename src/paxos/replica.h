@@ -125,6 +125,13 @@ struct PaxosOptions {
   /// randomized harness catches quorum-math regressions. Never enable
   /// outside tests.
   bool test_fault_count_duplicate_votes = false;
+
+  /// Conformance-harness fault injection ONLY: disables the client_records_
+  /// exactly-once filter (Propose admission + ExecuteOne apply-time), so a
+  /// duplicated ClientRequest delivery double-applies. Proves the network
+  /// duplication fault kind catches dedup regressions. Never enable outside
+  /// tests.
+  bool test_fault_no_client_dedup = false;
 };
 
 /// Counters exposed for tests and benches.

@@ -27,6 +27,7 @@
 
 #include "common/logging.h"
 #include "epaxos/messages.h"
+#include "harness/scenario_config.h"
 #include "epaxos/replica.h"
 #include "paxos/replica.h"
 #include "pigpaxos/messages.h"
@@ -57,6 +58,12 @@ struct Args {
   uint64_t seed = 1;
   /// Replica-only: durable WAL + snapshot root (empty = memory only).
   std::string data_dir;
+  /// Scenario pack (scenarios/*.json) to load and validate at startup.
+  /// The TCP runtime has no virtual-time fault engine, so the schedule
+  /// is checked and logged, not executed — the same file drives the
+  /// simulator harness and the conformance matrix, and a node that
+  /// rejects it fails fast before any process in the pack launches.
+  std::string scenario_file;
   /// Executed slots between durable snapshots when --data-dir is set.
   size_t snapshot_interval = 4096;
 };
@@ -107,6 +114,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->data_dir = vdd;
     } else if (const char* vsi = value("--snapshot-interval=")) {
       args->snapshot_interval = static_cast<size_t>(std::atoll(vsi));
+    } else if (const char* vsc = value("--scenario=")) {
+      args->scenario_file = vsc;
     } else {
       std::fprintf(stderr, "pig_node: unknown flag %s\n", arg.c_str());
       return false;
@@ -205,6 +214,30 @@ std::unique_ptr<pig::Actor> MakeReplica(const Args& args,
     node->AddGroup(std::move(replica));
   }
   return node;
+}
+
+/// Loads and validates the --scenario pack against this cluster's size.
+/// Returns false (after printing the parse or validation error) so a bad
+/// pack fails the whole launch before any node starts serving.
+bool CheckScenario(const Args& args) {
+  if (args.scenario_file.empty()) return true;
+  pig::Result<pig::harness::ScenarioSpec> spec =
+      pig::harness::LoadScenarioFile(args.scenario_file);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "pig_node: %s\n",
+                 spec.status().ToString().c_str());
+    return false;
+  }
+  pig::Status valid =
+      pig::harness::ValidateScenario(spec.value(), args.peers.size());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "pig_node: %s\n", valid.ToString().c_str());
+    return false;
+  }
+  std::printf("pig_node: scenario-loaded name=%s events=%zu\n",
+              spec.value().name.c_str(), spec.value().schedule.size());
+  std::fflush(stdout);
+  return true;
 }
 
 int RunReplica(const Args& args) {
@@ -307,11 +340,12 @@ int main(int argc, char** argv) {
                  "usage: pig_node --node-id=N --peers=host:port,... "
                  "[--protocol=paxos|pigpaxos|epaxos] [--relay-groups=K] "
                  "[--num-groups=G] [--seed=S] [--data-dir=PATH] "
-                 "[--snapshot-interval=I]\n"
+                 "[--snapshot-interval=I] [--scenario=FILE.json]\n"
                  "       pig_node --client --peers=... [--ops=N] "
                  "[--num-groups=G] [--op-delay-ms=D]\n");
     return 2;
   }
+  if (!CheckScenario(args)) return 2;
   pig::pigpaxos::RegisterPigPaxosMessages();
   pig::epaxos::RegisterEPaxosMessages();
   pig::shard::RegisterShardMessages();

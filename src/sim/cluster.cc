@@ -36,6 +36,7 @@ struct Cluster::Node {
 
   TimeNs busy_until = 0;
   TimeNs busy_accum = 0;  // total busy time, for utilization reporting
+  double clock_skew = 1.0;  // multiplies timer delays (see SetClockSkew)
   std::deque<PendingDelivery> inbox;
   bool drain_scheduled = false;
   bool rebuild_pending = false;  // CrashWithDisk/-LosingDisk was used
@@ -74,6 +75,10 @@ class Cluster::NodeEnv final : public Env {
   TimerId SetTimer(TimeNs delay, std::function<void()> cb) override {
     TimerId tid = next_timer_id_++;
     Node* node = node_;
+    if (node->clock_skew != 1.0) {
+      delay = static_cast<TimeNs>(static_cast<double>(delay) *
+                                  node->clock_skew);
+    }
     EventId eid = cluster_->scheduler_.ScheduleAfter(
         delay, [node, tid, cb = std::move(cb)]() {
           node->ForgetTimer(tid);
@@ -176,18 +181,29 @@ void Cluster::SendFrom(Node& from, NodeId to, MessagePtr msg) {
   from.busy_accum += cost;
   TimeNs departure = from.busy_until;
 
-  std::optional<TimeNs> latency = network_->Transfer(from.id, to, bytes);
+  TimeNs duplicate_latency = -1;
+  std::optional<TimeNs> latency =
+      network_->Transfer(from.id, to, bytes, &duplicate_latency);
   if (!latency.has_value()) return;  // dropped / partitioned
 
-  TimeNs arrival = departure + *latency;
   NodeId from_id = from.id;
-  scheduler_.ScheduleAt(
-      arrival, [this, from_id, to, bytes, msg = std::move(msg)]() mutable {
-        Node* dest = FindNode(to);
-        if (dest == nullptr || !dest->alive) return;
-        network_->RecordDelivery(to, bytes);
-        EnqueueDelivery(*dest, from_id, std::move(msg));
-      });
+  auto deliver_at = [this, from_id, to, bytes](TimeNs arrival,
+                                               MessagePtr copy) {
+    scheduler_.ScheduleAt(
+        arrival, [this, from_id, to, bytes, msg = std::move(copy)]() mutable {
+          Node* dest = FindNode(to);
+          if (dest == nullptr || !dest->alive) return;
+          network_->RecordDelivery(to, bytes);
+          EnqueueDelivery(*dest, from_id, std::move(msg));
+        });
+  };
+  if (duplicate_latency >= 0) {
+    // A duplicated delivery shares the message object, exactly like a
+    // broadcast fan-out does: handlers treat inbound messages as
+    // immutable.
+    deliver_at(departure + duplicate_latency, msg);
+  }
+  deliver_at(departure + *latency, std::move(msg));
 }
 
 void Cluster::EnqueueDelivery(Node& node, NodeId from, MessagePtr msg) {
@@ -277,6 +293,22 @@ void Cluster::Recover(NodeId id) {
   node->alive = true;
   node->busy_until = scheduler_.now();
   node->actor->OnStart();
+}
+
+void Cluster::SetClockSkew(NodeId id, double factor) {
+  assert(factor > 0);
+  Node* node = FindNode(id);
+  if (node == nullptr) return;
+  if (factor != node->clock_skew) {
+    PIG_LOG(kInfo) << "clock skew node " << id << " x" << factor
+                   << " at t=" << ToMillis(Now()) << "ms";
+  }
+  node->clock_skew = factor;
+}
+
+double Cluster::ClockSkewOf(NodeId id) const {
+  const Node* node = FindNode(id);
+  return node == nullptr ? 1.0 : node->clock_skew;
 }
 
 bool Cluster::IsAlive(NodeId id) const {

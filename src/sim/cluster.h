@@ -108,6 +108,14 @@ class Cluster {
   /// CrashWithDisk/CrashLosingDisk are rebuilt first.
   void Recover(NodeId id);
 
+  /// Clock skew: every timer the node registers from now on has its
+  /// delay multiplied by `factor` (> 1 = slow clock, deadlines fire
+  /// late; < 1 = fast clock, elections and relay watches fire early).
+  /// 1.0 restores an honest clock. Timers already armed keep the delay
+  /// they were registered with, matching a real clock whose rate changes.
+  void SetClockSkew(NodeId id, double factor);
+  double ClockSkewOf(NodeId id) const;
+
   bool IsAlive(NodeId id) const;
 
   /// Convenience: schedule Crash/Recover at absolute virtual times.

@@ -1,5 +1,6 @@
 #include "conformance.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -34,6 +35,9 @@ class HistoryClient : public Actor {
     TimeNs request_timeout = 250 * kMillisecond;
     uint32_t index = 0;
     uint32_t num_groups = 1;
+    /// Leaderless protocol (EPaxos): clients spread their initial target
+    /// across the replicas instead of converging on a single leader.
+    bool leaderless = false;
   };
 
   explicit HistoryClient(Config cfg) : cfg_(cfg) {
@@ -44,7 +48,9 @@ class HistoryClient : public Actor {
   }
 
   void OnStart() override {
-    target_ = 0;
+    target_ = cfg_.leaderless
+                  ? static_cast<NodeId>(cfg_.index % cfg_.num_replicas)
+                  : 0;
     env_->SetTimer(
         static_cast<TimeNs>(env_->rng().NextBounded(5 * kMillisecond)),
         [this]() { IssueNext(); });
@@ -103,8 +109,12 @@ class HistoryClient : public Actor {
 
  private:
   void IssueNext() {
-    if (stopped_) return;
+    // Retire the completed seq BEFORE the stopped check: a duplicated
+    // (or dedup-cache re-sent) ClientReply for the final pre-Stop
+    // command must not match seq_ again, or the completion is recorded
+    // twice and the history grows a duplicate write value.
     ++seq_;
+    if (stopped_) return;
     const std::string key =
         "k" + std::to_string(env_->rng().NextBounded(cfg_.num_keys));
     const bool read = env_->rng().NextDouble() < cfg_.read_ratio;
@@ -226,6 +236,13 @@ struct StorageBank {
 std::unique_ptr<Actor> BuildNodeActor(const ConformanceConfig& cfg,
                                       bool inject_fault, NodeId i,
                                       StorageBank* bank) {
+  if (cfg.use_epaxos) {
+    epaxos::EPaxosOptions opt;
+    opt.num_replicas = cfg.num_replicas;
+    opt.retry_interval = cfg.epaxos_retry_interval;
+    opt.commit_rebroadcasts = cfg.epaxos_commit_rebroadcasts;
+    return std::make_unique<epaxos::EPaxosReplica>(i, opt);
+  }
   if (cfg.use_ring) {
     baselines::RingOptions opt;
     opt.paxos = MakePaxosOptions(cfg, inject_fault);
@@ -279,6 +296,7 @@ std::vector<HistoryClient*> AddClients(sim::Cluster& cluster,
     ccfg.read_ratio = cfg.read_ratio;
     ccfg.index = i;
     ccfg.num_groups = cfg.num_groups;
+    ccfg.leaderless = cfg.use_epaxos;
     auto owner = std::make_unique<HistoryClient>(ccfg);
     clients.push_back(owner.get());
     cluster.AddClient(sim::Cluster::MakeClientId(i), std::move(owner));
@@ -300,10 +318,132 @@ const paxos::PaxosReplica* GroupPaxosAt(sim::Cluster& cluster,
       static_cast<shard::ShardedNode*>(cluster.actor(id))->group_actor(g));
 }
 
+/// Leaderless invariant set (EPaxos). There is no log or leader;
+/// agreement is per *instance*: two replicas that both committed an
+/// instance must agree on its command and final attributes, dependency
+/// execution must have drained everywhere, and all stores must converge.
+/// Exactly-once and no-lost-ack run against the union of committed
+/// instances across replicas.
+std::string CheckEPaxosInvariants(sim::Cluster& cluster,
+                                  const ConformanceConfig& cfg,
+                                  const std::vector<HistoryClient*>& clients,
+                                  ConformanceResult* result) {
+  const size_t n = cfg.num_replicas;
+  for (auto* c : clients) {
+    result->completed_ops += c->history.size();
+    result->acked_writes += c->acked_write_seqs.size();
+  }
+
+  using epaxos::DepSet;
+  using epaxos::EPaxosReplica;
+  using epaxos::InstanceId;
+  struct Committed {
+    Command cmd;
+    uint64_t seq = 0;
+    DepSet deps;
+    NodeId first_seen = kInvalidNode;
+  };
+  // (owner replica, instance index) -> first-seen committed value.
+  std::map<std::pair<NodeId, uint64_t>, Committed> canon;
+  std::string violation;
+  for (NodeId i = 0; i < n; ++i) {
+    EPaxosAt(cluster, i)->ForEachCommitted(
+        [&](const InstanceId& id, const EPaxosReplica::Instance& inst) {
+          if (!violation.empty()) return;
+          DepSet deps = inst.deps;
+          std::sort(deps.begin(), deps.end());
+          auto [it, fresh] = canon.try_emplace(
+              std::make_pair(id.replica, id.index),
+              Committed{inst.cmd, inst.seq, deps, i});
+          if (fresh) return;
+          const Committed& c = it->second;
+          if (!(c.cmd == inst.cmd) || c.seq != inst.seq ||
+              c.deps != deps) {
+            std::ostringstream msg;
+            msg << "instance disagreement: " << id.replica << "."
+                << id.index << ": replica " << c.first_seen
+                << " committed " << c.cmd.DebugString() << " seq " << c.seq
+                << " but replica " << i << " committed "
+                << inst.cmd.DebugString() << " seq " << inst.seq;
+            violation = msg.str();
+          }
+        });
+  }
+  if (!violation.empty()) return violation;
+
+  // Dependency execution drained: nothing committed may still be
+  // waiting on an uncommitted dependency after the healed quiesce.
+  for (NodeId i = 0; i < n; ++i) {
+    const size_t stuck = EPaxosAt(cluster, i)->committed_unexecuted();
+    if (stuck > 0) {
+      return "replica " + std::to_string(i) + " still has " +
+             std::to_string(stuck) +
+             " committed-unexecuted instances after quiesce";
+    }
+  }
+
+  // Store convergence across ALL replicas (leaderless: no reference
+  // node is special, so replica 0's store is the arbitrary baseline).
+  const auto reference = EPaxosAt(cluster, 0)->store().Dump();
+  for (NodeId i = 1; i < n; ++i) {
+    if (EPaxosAt(cluster, i)->store().Dump() != reference) {
+      return "stores diverged at replica " + std::to_string(i);
+    }
+  }
+
+  // Exactly-once: per key, the store version must equal the number of
+  // distinct committed (client, seq) writes — a client resend that
+  // committed in TWO instances must still apply once (dup_exec_skips).
+  std::map<std::pair<NodeId, uint64_t>, int> committed;
+  std::map<std::string, uint64_t> distinct_writes_per_key;
+  for (const auto& [id, c] : canon) {
+    (void)id;
+    if (c.cmd.IsNoop() || c.cmd.client == kInvalidNode) continue;
+    int& count = committed[{c.cmd.client, c.cmd.seq}];
+    count++;
+    if (count == 1 && c.cmd.IsWrite()) distinct_writes_per_key[c.cmd.key]++;
+  }
+  result->committed_commands = committed.size();
+  for (const auto& [key, writes] : distinct_writes_per_key) {
+    const uint64_t version = EPaxosAt(cluster, 0)->store().VersionOf(key);
+    if (version != writes) {
+      std::ostringstream msg;
+      msg << "key " << key << ": " << writes
+          << " distinct committed writes but store version " << version
+          << " (duplicate or lost apply)";
+      return msg.str();
+    }
+  }
+
+  // Linearizability of the merged client-visible history.
+  std::vector<HistoryOp> history;
+  for (auto* c : clients) {
+    history.insert(history.end(), c->history.begin(), c->history.end());
+  }
+  std::string lin = CheckLinearizability(history);
+  if (!lin.empty()) return "linearizability: " + lin;
+
+  // No lost command: every acknowledged write committed in SOME instance.
+  for (auto* c : clients) {
+    for (uint64_t seq : c->acked_write_seqs) {
+      NodeId id = c->history.empty() ? kInvalidNode : c->history[0].client;
+      if (id == kInvalidNode) continue;
+      if (committed.find({id, seq}) == committed.end()) {
+        return "acknowledged write c" + std::to_string(id) + "#" +
+               std::to_string(seq) + " missing from committed instances";
+      }
+    }
+  }
+  return "";
+}
+
 std::string CheckInvariants(sim::Cluster& cluster,
                             const ConformanceConfig& cfg,
                             const std::vector<HistoryClient*>& clients,
                             ConformanceResult* result) {
+  if (cfg.use_epaxos) {
+    return CheckEPaxosInvariants(cluster, cfg, clients, result);
+  }
   const size_t n = cfg.num_replicas;
   const uint32_t groups = cfg.num_groups > 0 ? cfg.num_groups : 1;
   for (auto* c : clients) {
@@ -537,8 +677,10 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
     bool disk_lost = false;  // kLosingDisk's one-replacement budget
     for (int round = 0; round < cfg.chaos_rounds; ++round) {
       const uint64_t dice = chaos.NextBounded(100);
+      // EPaxos rows take partitions and heals only: crash recovery needs
+      // explicit prepare (not implemented) and there are no elections.
       if (dice < 30) {
-        if (num_down < max_down) {
+        if (!cfg.use_epaxos && num_down < max_down) {
           NodeId victim = static_cast<NodeId>(chaos.NextBounded(n));
           if (!down[victim]) {
             switch (cfg.disk) {
@@ -583,7 +725,7 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
         cluster.network().HealPartitions();
       } else if (dice < 85) {
         NodeId who = static_cast<NodeId>(chaos.NextBounded(n));
-        if (!down[who]) {
+        if (!cfg.use_epaxos && !down[who]) {
           if (cfg.num_groups > 1) {
             // Churn one random group's leadership; the others must ride
             // through untouched.
@@ -689,6 +831,81 @@ ConformanceResult RunDuplicateVoteFaultScenario(uint64_t seed,
   cluster.Crash(0);
   cluster.Crash(1);
   cluster.RunFor(4 * kSecond);  // elections among {2,3,4}, fresh commits
+  for (HistoryClient* c : clients) c->Stop();
+  cluster.RunFor(1500 * kMillisecond);
+
+  ConformanceResult result;
+  result.violation = CheckInvariants(cluster, cfg, clients, &result);
+  return result;
+}
+
+ConformanceResult RunDuplicationFaultScenario(uint64_t seed,
+                                              DedupFault fault) {
+  // Flat Paxos under 100% network duplication: every message on every
+  // link (client requests included) is delivered twice. Three layers of
+  // dedup keep that harmless — P2b vote masks, client-request admission,
+  // apply-time exactly-once — and this scenario proves the harness
+  // notices when either client-side layer is reverted:
+  //   * kClientRecords: a duplicated ClientRequest is proposed twice and
+  //     each commit is applied, so the key's version overshoots the
+  //     distinct committed writes.
+  //   * kVoteCount: with the majority down, the lone follower's
+  //     duplicated P2b fakes a quorum (leader + follower + echo = "3");
+  //     a later legitimate quorum that never saw those commits rewrites
+  //     the slots, exposing log disagreement / lost acks.
+  ConformanceConfig cfg;
+  cfg.name = "duplication-fault";
+  cfg.use_pig = false;
+  cfg.num_replicas = 5;
+  cfg.num_clients = 1;
+  cfg.num_keys = 1;
+  cfg.read_ratio = 0.0;  // writes only: every ack must survive
+
+  sim::ClusterOptions copt;
+  copt.seed = seed;
+  sim::Cluster cluster(copt);
+  {
+    paxos::PaxosOptions opt =
+        MakePaxosOptions(cfg, fault == DedupFault::kVoteCount);
+    opt.test_fault_no_client_dedup = fault == DedupFault::kClientRecords;
+    // Keep follower 1 from starting elections while the majority is
+    // down, and retry proposals fast so duplicated votes get exercised.
+    opt.election_timeout_min = 600 * kMillisecond;
+    opt.election_timeout_max = 900 * kMillisecond;
+    opt.propose_retry_timeout = 100 * kMillisecond;
+    for (NodeId i = 0; i < cfg.num_replicas; ++i) {
+      cluster.AddReplica(i,
+                         std::make_unique<paxos::PaxosReplica>(i, opt));
+    }
+  }
+  std::vector<HistoryClient*> clients = AddClients(cluster, cfg);
+  cluster.network().SetLinkDuplicate(kInvalidNode, kInvalidNode, 1.0);
+  cluster.Start();
+  // Settle + duplicated clean traffic: with kClientRecords the double
+  // applies already accumulate here, on a full healthy quorum.
+  cluster.RunFor(400 * kMillisecond);
+
+  // Phase 1: majority down. Only a duplicated vote counted twice could
+  // commit (and ack) anything beyond the pre-crash baseline.
+  cluster.Crash(2);
+  cluster.Crash(3);
+  cluster.Crash(4);
+  const size_t baseline_acked = clients[0]->acked_write_seqs.size();
+  for (int i = 0;
+       i < 15 && clients[0]->acked_write_seqs.size() == baseline_acked;
+       ++i) {
+    cluster.RunFor(200 * kMillisecond);
+  }
+
+  // Phase 2: lose the fake-quorum participants, recover the rest.
+  // {2,3,4} is a legitimate quorum that never saw any phase-1 commit;
+  // it elects a leader and commits fresh commands into the same slots.
+  cluster.Recover(2);
+  cluster.Recover(3);
+  cluster.Recover(4);
+  cluster.Crash(0);
+  cluster.Crash(1);
+  cluster.RunFor(4 * kSecond);
   for (HistoryClient* c : clients) c->Stop();
   cluster.RunFor(1500 * kMillisecond);
 

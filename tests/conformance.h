@@ -53,6 +53,20 @@ struct ConformanceConfig {
   /// Ring-pipeline baseline (baselines/ring_replica.h); wins over
   /// use_pig so the same chaos schedules validate both protocols.
   bool use_ring = false;
+  /// Leaderless EPaxos baseline (epaxos/replica.h); wins over use_ring
+  /// and use_pig. Clients spread across replicas (every node is a
+  /// command leader) and the invariant set switches to instance
+  /// agreement + dependency-execution convergence. Crash/election chaos
+  /// arms are skipped: explicit-prepare recovery is not implemented
+  /// (DESIGN.md §6), so epaxos rows exercise the *delivery* fault kinds
+  /// — duplication, reordering, one-way partitions, clock skew.
+  bool use_epaxos = false;
+  /// EPaxosOptions::retry_interval / commit_rebroadcasts for epaxos
+  /// rows. Any schedule that loses messages (drops, partitions) needs
+  /// retransmission: a lost PreAccept or ECommit wedges dependency
+  /// execution at the replica that missed it.
+  TimeNs epaxos_retry_interval = 0;
+  uint32_t epaxos_commit_rebroadcasts = 0;
   size_t num_replicas = 5;
   size_t num_clients = 4;
   size_t num_keys = 8;
@@ -130,5 +144,23 @@ ConformanceResult RunConformance(const ConformanceConfig& cfg,
 /// with the fault injected and a clean run without it.
 ConformanceResult RunDuplicateVoteFaultScenario(uint64_t seed,
                                                 bool inject_fault);
+
+/// Which exactly-once mechanism RunDuplicationFaultScenario reverts.
+enum class DedupFault {
+  kNone,           ///< No injected bug: the schedule must stay clean.
+  kClientRecords,  ///< PaxosOptions::test_fault_no_client_dedup — a
+                   ///< duplicated ClientRequest double-proposes and
+                   ///< double-applies.
+  kVoteCount,      ///< PaxosOptions::test_fault_count_duplicate_votes —
+                   ///< a duplicated P2b delivery fakes a quorum.
+};
+
+/// Teeth check for the network duplication fault kind: flat Paxos under
+/// 100% message duplication plus a majority-crash window. With kNone
+/// every dedup layer holds and the run is clean; reverting either layer
+/// must produce an invariant violation (double apply, or a fabricated
+/// quorum whose acknowledged write a legitimate quorum later loses).
+ConformanceResult RunDuplicationFaultScenario(uint64_t seed,
+                                              DedupFault fault);
 
 }  // namespace pig::test

@@ -141,6 +141,126 @@ std::vector<ConformanceConfig> BuildMatrix() {
   };
   add_losing("PaxosFollowerLosesDisk", false, 1);
   add_losing("ShardedPigFollowerLosesDisk", true, 4);
+  // Adversarial delivery-fault rows (the scenario layer's directed /
+  // duplication / reordering / clock-skew kinds, harness/scenario.h):
+  // each row scripts a fault window mid-run, the scripted tail heals it,
+  // and the usual invariant set must hold. Duplication leans on the vote
+  // masks and client dedup; reordering on commit-order independence;
+  // one-way partitions on retry/suspicion paths; skew on timer safety.
+  auto add_adversarial = [&](const char* name, bool pig, bool ring,
+                             std::vector<harness::FaultEvent> schedule) {
+    ConformanceConfig c;
+    c.name = name;
+    c.use_pig = pig;
+    c.use_ring = ring;
+    c.scenario.name = name;
+    c.scenario.schedule = std::move(schedule);
+    configs.push_back(c);
+  };
+  add_adversarial(
+      "PigOneWayPartition", true, false,
+      {
+          // Node 2 can hear but not speak; later a single directed edge
+          // 0->3 dies while 3->0 stays up.
+          harness::OneWayPartitionEvent(200 * kMillisecond, 2,
+                                        kInvalidNode, true),
+          harness::OneWayPartitionEvent(500 * kMillisecond, 0, 3, true),
+          harness::OneWayPartitionEvent(900 * kMillisecond, 2,
+                                        kInvalidNode, false),
+          harness::OneWayPartitionEvent(1000 * kMillisecond, 0, 3, false),
+      });
+  add_adversarial(
+      "PaxosDuplicateAll", false, false,
+      {
+          harness::DuplicateLinkEvent(150 * kMillisecond, kInvalidNode,
+                                      kInvalidNode, 0.45),
+          harness::DuplicateLinkEvent(1200 * kMillisecond, kInvalidNode,
+                                      kInvalidNode, 0.0),
+      });
+  add_adversarial(
+      "PigReorderJitter", true, false,
+      {
+          harness::ReorderLinkEvent(150 * kMillisecond, kInvalidNode,
+                                    kInvalidNode, 8 * kMillisecond),
+          harness::ReorderLinkEvent(1200 * kMillisecond, kInvalidNode,
+                                    kInvalidNode, 0),
+      });
+  add_adversarial(
+      "PigClockSkew", true, false,
+      {
+          // Node 1 runs slow (late timers), node 3 fast (early
+          // elections); both are restored before the tail.
+          harness::ClockSkewEvent(200 * kMillisecond, 1, 1.6),
+          harness::ClockSkewEvent(200 * kMillisecond, 3, 0.7),
+          harness::ClockSkewEvent(1100 * kMillisecond, 1, 1.0),
+          harness::ClockSkewEvent(1100 * kMillisecond, 3, 1.0),
+      });
+  add_adversarial(
+      "PigComposedChaos", true, false,
+      {
+          harness::DuplicateLinkEvent(150 * kMillisecond, kInvalidNode,
+                                      kInvalidNode, 0.3),
+          harness::ReorderLinkEvent(150 * kMillisecond, kInvalidNode,
+                                    kInvalidNode, 5 * kMillisecond),
+          harness::OneWayPartitionEvent(400 * kMillisecond, 4,
+                                        kInvalidNode, true),
+          harness::ClockSkewEvent(600 * kMillisecond, 1, 1.5),
+          harness::OneWayPartitionEvent(900 * kMillisecond, 4,
+                                        kInvalidNode, false),
+      });
+  add_adversarial(
+      "RingReorderDuplicate", false, true,
+      {
+          harness::DuplicateLinkEvent(150 * kMillisecond, kInvalidNode,
+                                      kInvalidNode, 0.3),
+          harness::ReorderLinkEvent(150 * kMillisecond, kInvalidNode,
+                                    kInvalidNode, 6 * kMillisecond),
+      });
+  // EPaxos leaderless rows: same scenario machinery, but the invariant
+  // set switches to instance agreement + dependency-execution
+  // convergence (CheckEPaxosInvariants). Loss-free delivery faults run
+  // without retries; the one-way row needs the retransmission knobs or
+  // a lost PreAccept/ECommit wedges execution at whoever missed it.
+  auto add_epaxos = [&](const char* name, TimeNs retry, uint32_t recasts,
+                        std::vector<harness::FaultEvent> schedule) {
+    ConformanceConfig c;
+    c.name = name;
+    c.use_pig = false;
+    c.use_epaxos = true;
+    c.epaxos_retry_interval = retry;
+    c.epaxos_commit_rebroadcasts = recasts;
+    c.scenario.name = name;
+    c.scenario.schedule = std::move(schedule);
+    configs.push_back(c);
+  };
+  add_epaxos("EPaxosDeliveryChaos", 0, 0,
+             {
+                 harness::DuplicateLinkEvent(150 * kMillisecond,
+                                             kInvalidNode, kInvalidNode,
+                                             0.4),
+                 harness::ReorderLinkEvent(150 * kMillisecond,
+                                           kInvalidNode, kInvalidNode,
+                                           6 * kMillisecond),
+             });
+  add_epaxos("EPaxosOneWayPartition", 50 * kMillisecond, 30,
+             {
+                 harness::OneWayPartitionEvent(300 * kMillisecond, 3,
+                                               kInvalidNode, true),
+                 harness::OneWayPartitionEvent(400 * kMillisecond, 1, 2,
+                                               true),
+                 harness::OneWayPartitionEvent(800 * kMillisecond, 3,
+                                               kInvalidNode, false),
+                 harness::OneWayPartitionEvent(900 * kMillisecond, 1, 2,
+                                               false),
+             });
+  add_epaxos("EPaxosSkewDuplicate", 50 * kMillisecond, 10,
+             {
+                 harness::ClockSkewEvent(200 * kMillisecond, 0, 1.5),
+                 harness::DuplicateLinkEvent(300 * kMillisecond,
+                                             kInvalidNode, kInvalidNode,
+                                             0.3),
+                 harness::ClockSkewEvent(1100 * kMillisecond, 0, 1.0),
+             });
   return configs;
 }
 
@@ -149,7 +269,7 @@ size_t SeedsPerConfig() {
     const long v = std::atol(env);
     if (v > 0) return static_cast<size_t>(v);
   }
-  // 15 seeds x 26 configs = 390 schedules per full run.
+  // 15 seeds x 35 configs = 525 schedules per full run.
   return 15;
 }
 
@@ -210,6 +330,36 @@ TEST(ConformanceFaultInjection, RevertedVoteDedupIsCaught) {
 TEST(ConformanceFaultInjection, SameScheduleWithoutFaultIsClean) {
   ConformanceResult clean = RunDuplicateVoteFaultScenario(7, false);
   EXPECT_EQ(clean.violation, "") << clean.violation;
+}
+
+// ---------------------------------------------------------------------------
+// Teeth of the network duplication fault kind: under 100% message
+// duplication, reverting either exactly-once layer must be caught —
+// the client-records dedup (a duplicated ClientRequest double-applies)
+// and the vote masks (a duplicated P2b fakes a quorum). The same
+// schedule with every dedup intact stays clean, so the faults
+// themselves never produce false positives.
+
+TEST(ConformanceFaultInjection, DuplicationWithDedupIntactIsClean) {
+  ConformanceResult clean = RunDuplicationFaultScenario(11, DedupFault::kNone);
+  EXPECT_EQ(clean.violation, "") << clean.violation;
+  EXPECT_GT(clean.completed_ops, 0u);
+}
+
+TEST(ConformanceFaultInjection, RevertedClientDedupIsCaughtByDuplication) {
+  ConformanceResult faulty =
+      RunDuplicationFaultScenario(11, DedupFault::kClientRecords);
+  EXPECT_NE(faulty.violation, "")
+      << "reverting client_records_ dedup went undetected under "
+      << "duplication (completed " << faulty.completed_ops << " ops)";
+}
+
+TEST(ConformanceFaultInjection, DuplicatedVotesCannotFakeQuorum) {
+  ConformanceResult faulty =
+      RunDuplicationFaultScenario(11, DedupFault::kVoteCount);
+  EXPECT_NE(faulty.violation, "")
+      << "a duplicated P2b counted twice went undetected (acked "
+      << faulty.acked_writes << " writes)";
 }
 
 }  // namespace

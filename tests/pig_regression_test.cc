@@ -448,5 +448,49 @@ TEST(PigRegressionTest, OverlapDoubleDeliveryNeverFakesQuorum) {
   EXPECT_EQ(PaxosAt(cluster, 0)->store().Get("once"), "only");
 }
 
+// ---------------------------------------------------------------------------
+// Asymmetric partition vs relay suspicion: every member of one relay
+// group can HEAR the leader but none can speak (one-way dead uplinks).
+// The mute group's relay never answers, so the relay-ack watch must
+// suspect it — symmetric-failure detection that only fired on receive
+// errors would hang here — while the healthy group plus the leader still
+// form a quorum (5 of 9) and commits keep flowing. After the uplinks
+// heal, the silenced members must converge onto the same log.
+
+TEST(PigRegressionTest, OneWayDeadUplinkRelayIsSuspected) {
+  sim::Cluster cluster{sim::ClusterOptions{}};
+  PigPaxosOptions opt;
+  opt.num_relay_groups = 2;  // 9 nodes: {1,2,3,4} and {5,6,7,8}
+  opt.relay_timeout = 20 * kMillisecond;
+  opt.paxos.propose_retry_timeout = 100 * kMillisecond;
+  opt.paxos.election_timeout_min = 20 * kSecond;  // leader 0 stays put
+  opt.paxos.election_timeout_max = 30 * kSecond;
+  Prober* prober = MakePigCluster(cluster, 9, opt);
+  cluster.Start();
+  cluster.RunFor(200 * kMillisecond);
+  ASSERT_EQ(FindLeader(cluster, 9), 0u);
+
+  // Group {1,2,3,4} goes mute: inbound intact, every outbound byte lost.
+  for (NodeId n = 1; n <= 4; ++n) cluster.network().SetOneWayDown(n, true);
+
+  const uint64_t seq = prober->Put(0, "k", "v1");
+  cluster.RunFor(2 * kSecond);
+
+  // The commit must land on the healthy majority despite the mute group,
+  // and the leader must have blacklisted at least one unresponsive relay
+  // (the watch timeout, not a receive error, is what fires here).
+  EXPECT_NE(prober->FindReply(seq), nullptr);
+  EXPECT_GT(PigAt(cluster, 0)->relay_metrics().relays_suspected, 0u);
+  EXPECT_GT(PigAt(cluster, 0)->suspected_entries(), 0u);
+
+  // Heal the uplinks: the silenced members already heard every P2a and
+  // commit, so once they can speak again the cluster converges.
+  for (NodeId n = 1; n <= 4; ++n) cluster.network().SetOneWayDown(n, false);
+  const uint64_t seq2 = prober->Put(0, "k", "v2");
+  cluster.RunFor(2 * kSecond);
+  EXPECT_NE(prober->FindReply(seq2), nullptr);
+  EXPECT_EQ(CheckLogConsistency(cluster, 9), "");
+}
+
 }  // namespace
 }  // namespace pig::test
